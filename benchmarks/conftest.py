@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the same experiment code as ``repro.experiments`` at a
+reduced circuit scale (``BENCH_SCALE``) so the whole harness finishes in
+minutes on a laptop.  The ATPG result and compiled fault simulator for
+each circuit are cached per session — they are circuit-level artefacts,
+not part of the measured covering flow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import CircuitWorkspace, ExperimentConfig
+
+#: Circuit size factor for benchmarks (1.0 = real ISCAS sizes).
+BENCH_SCALE = 0.2
+
+#: Circuits benchmarked (one ISCAS'85 member, one small and one larger
+#: full-scan ISCAS'89 member — enough to show every Table-2 regime).
+BENCH_CIRCUITS = ("c499", "s420", "s1238")
+
+#: Evolution length used by the benchmark pipelines.
+BENCH_EVOLUTION_LENGTH = 32
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration all benchmarks share."""
+    return ExperimentConfig(
+        circuits=BENCH_CIRCUITS,
+        scale=BENCH_SCALE,
+        seed=2001,
+        evolution_length=BENCH_EVOLUTION_LENGTH,
+        max_random_patterns=512,
+    )
+
+
+@pytest.fixture(scope="session")
+def workspaces(bench_config) -> dict[str, CircuitWorkspace]:
+    """ATPG + simulator per circuit, computed once per session."""
+    return {
+        name: CircuitWorkspace.prepare(name, bench_config)
+        for name in bench_config.circuits
+    }

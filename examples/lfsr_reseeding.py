@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Classic LFSR reseeding through the set-covering lens.
+
+Reseeding was invented for LFSRs (Hellebrand et al., ITC'92 / ICCAD'95 —
+references [3][4] of the paper): a bank of feedback polynomials plus a
+set of seeds replaces stored test patterns.  The set-covering
+formulation is generator-agnostic, so the exact same flow that optimises
+accumulator reseeding optimises multi-polynomial LFSR reseeding: sigma
+simply selects the polynomial.
+
+This example compares a plain single-polynomial LFSR with a
+multi-polynomial one on the same UUT, showing how the richer seed space
+reduces the number of stored seeds.
+
+Run: ``python examples/lfsr_reseeding.py [--circuit s953] [--scale 0.25]``
+"""
+
+import argparse
+
+from repro import PipelineConfig, ReseedingPipeline, load_circuit
+from repro.tpg.lfsr import Lfsr, MultiPolynomialLfsr, default_polynomials
+from repro.utils.tables import AsciiTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="s953")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--polys", type=int, default=4, help="polynomial bank size")
+    args = parser.parse_args()
+
+    circuit = load_circuit(args.circuit, scale=args.scale)
+    width = circuit.n_inputs
+    print(f"UUT: {circuit}")
+    bank = default_polynomials(width, count=args.polys)
+    print(f"polynomial bank ({len(bank)} entries): {bank}\n")
+
+    config = PipelineConfig(evolution_length=32)
+    table = AsciiTable(
+        ["generator", "#seeds (triplets)", "test length", "necessary", "from solver"],
+        title=f"LFSR reseeding on {circuit.name}",
+    )
+    shared_atpg = None
+    for tpg in (Lfsr(width), MultiPolynomialLfsr(width, bank)):
+        result = ReseedingPipeline(
+            circuit, tpg, config, atpg_result=shared_atpg
+        ).run()
+        shared_atpg = result.atpg
+        table.add_row(
+            [
+                tpg.name,
+                result.n_triplets,
+                result.test_length,
+                result.n_necessary,
+                result.n_from_solver,
+            ]
+        )
+    print(table.render())
+    print(
+        "\nsigma selects the feedback polynomial for each seed: the "
+        "multi-polynomial generator explores several sequence families "
+        "from the same seed pool, never worse and often cheaper than a "
+        "single fixed polynomial as circuits grow."
+    )
+
+
+if __name__ == "__main__":
+    main()

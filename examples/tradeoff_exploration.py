@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Exploring the reseedings / test-length trade-off (the Figure-2 knob).
+
+A low triplet count minimises seed-ROM area but needs long evolutions;
+short evolutions keep the test short but need more stored triplets.
+This example sweeps the evolution length T for a circuit/TPG pair,
+prints the frontier, renders it as an ASCII curve, and picks the
+knee-point solution under a ROM budget.
+
+Run: ``python examples/tradeoff_exploration.py [--circuit s1238]
+[--tpg adder] [--rom-budget 400]``
+"""
+
+import argparse
+
+from repro import explore_tradeoff, load_circuit
+from repro.flow import PipelineConfig
+from repro.utils.tables import AsciiTable, render_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="s1238")
+    parser.add_argument("--tpg", default="adder")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument(
+        "--rom-budget",
+        type=int,
+        default=400,
+        help="seed-ROM budget in bits for the recommendation",
+    )
+    args = parser.parse_args()
+
+    circuit = load_circuit(args.circuit, scale=args.scale)
+    print(f"UUT: {circuit}, TPG: {args.tpg}\n")
+    lengths = [2, 4, 8, 16, 32, 64, 128, 256]
+    points = explore_tradeoff(
+        circuit, args.tpg, lengths, config=PipelineConfig(max_random_patterns=1024)
+    )
+
+    bits_per_triplet = 2 * circuit.n_inputs + 9  # delta + sigma + length field
+    table = AsciiTable(
+        ["T", "#triplets", "test length", "~seed ROM (bits)"],
+        title="Trade-off frontier",
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.evolution_length,
+                point.n_triplets,
+                point.test_length,
+                point.n_triplets * bits_per_triplet,
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        render_series(
+            [float(p.test_length) for p in points],
+            [float(p.n_triplets) for p in points],
+            x_label="test length",
+            y_label="#triplets",
+        )
+    )
+
+    # knee-point recommendation: the shortest test within the ROM budget
+    affordable = [
+        p for p in points if p.n_triplets * bits_per_triplet <= args.rom_budget
+    ]
+    if affordable:
+        pick = min(affordable, key=lambda p: p.test_length)
+        print(
+            f"\nwithin a {args.rom_budget}-bit ROM budget, pick T={pick.evolution_length}: "
+            f"{pick.n_triplets} triplets, test length {pick.test_length}"
+        )
+    else:
+        print(f"\nno sweep point fits a {args.rom_budget}-bit ROM budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for legacy editable installs (offline env without wheel).
+
+Use ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — set-covering reseeding for Functional BIST.
+
+A full reimplementation of Chiusano, Di Carlo, Prinetto & Wunderlich,
+*On Applying the Set Covering Model to Reseeding* (DATE 2001), together
+with every substrate the paper's flow depends on: a gate-level circuit
+model with ISCAS ``.bench`` I/O, stuck-at fault modelling and collapsing,
+bit-parallel logic/fault simulation, a PODEM-based ATPG, accumulator and
+LFSR test pattern generators, a covering-table reduction + exact-ILP
+solver chain, and a GATSBY-style genetic-algorithm baseline.
+
+Typical use::
+
+    from repro import load_circuit, ReseedingPipeline, PipelineConfig
+
+    circuit = load_circuit("s1238", scale=0.5)
+    result = ReseedingPipeline(circuit, "adder", PipelineConfig()).run()
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.circuit import Circuit, Gate, GateType, parse_bench, write_bench
+from repro.circuits import CATALOG, PAPER_CIRCUITS, load_circuit
+from repro.faults import Fault, collapse_faults, full_fault_list
+from repro.sim import CompiledCircuit, FaultSimulator
+from repro.atpg import AtpgEngine, Podem
+from repro.tpg import TestPatternGenerator, make_tpg
+from repro.reseeding import (
+    DetectionMatrix,
+    InitialReseedingBuilder,
+    ReseedingSolution,
+    Triplet,
+    trim_solution,
+)
+from repro.setcover import CoverMatrix, reduce_matrix, solve_cover
+from repro.gatsby import GatsbyReseeder
+from repro.flow import PipelineConfig, ReseedingPipeline, explore_tradeoff
+from repro.utils import BitVector, RngStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtpgEngine",
+    "BitVector",
+    "CATALOG",
+    "CompiledCircuit",
+    "CoverMatrix",
+    "Circuit",
+    "DetectionMatrix",
+    "Fault",
+    "FaultSimulator",
+    "Gate",
+    "GateType",
+    "GatsbyReseeder",
+    "InitialReseedingBuilder",
+    "PAPER_CIRCUITS",
+    "PipelineConfig",
+    "Podem",
+    "ReseedingPipeline",
+    "ReseedingSolution",
+    "RngStream",
+    "TestPatternGenerator",
+    "Triplet",
+    "collapse_faults",
+    "explore_tradeoff",
+    "full_fault_list",
+    "load_circuit",
+    "make_tpg",
+    "parse_bench",
+    "reduce_matrix",
+    "solve_cover",
+    "trim_solution",
+    "write_bench",
+]

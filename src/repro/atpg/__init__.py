@@ -1,0 +1,38 @@
+"""Deterministic test pattern generation.
+
+Stand-in for the commercial gate-level ATPG (TestGen) the paper uses to
+obtain the complete deterministic test set ``ATPGTS`` and target fault
+list ``F`` (Section 3.1).  The flow is the classic three-phase one:
+
+1. random-pattern phase with fault dropping (:mod:`repro.atpg.random_gen`),
+2. PODEM deterministic top-off for the random-resistant tail
+   (:mod:`repro.atpg.podem`),
+3. reverse-order static compaction (:mod:`repro.atpg.compaction`).
+"""
+
+from repro.atpg.values import Value, ZERO, ONE, D, DBAR, X
+from repro.atpg.podem import Podem, PodemResult, PodemStatus, TestCube
+from repro.atpg.random_gen import RandomPhaseResult, random_phase
+from repro.atpg.compaction import reverse_order_compaction
+from repro.atpg.engine import AtpgEngine, AtpgResult
+from repro.atpg.scoap import ScoapMeasures, compute_scoap
+
+__all__ = [
+    "AtpgEngine",
+    "AtpgResult",
+    "D",
+    "DBAR",
+    "ONE",
+    "Podem",
+    "PodemResult",
+    "PodemStatus",
+    "RandomPhaseResult",
+    "ScoapMeasures",
+    "TestCube",
+    "Value",
+    "X",
+    "ZERO",
+    "compute_scoap",
+    "random_phase",
+    "reverse_order_compaction",
+]

@@ -1,0 +1,84 @@
+"""Random-pattern phase of the ATPG flow.
+
+Generates random pattern blocks and fault-simulates them with fault
+dropping, stopping when coverage saturates (a window of consecutive
+blocks detects nothing new) or a pattern budget is exhausted.  The
+random-resistant tail that survives is handed to PODEM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.sim.fault import FaultSimulator
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+
+@dataclass
+class RandomPhaseResult:
+    """Patterns kept, the faults each newly detected, and the survivors."""
+
+    patterns: list[BitVector]
+    detected: dict[int, list[Fault]]  # pattern index -> faults it first detected
+    remaining: list[Fault]
+
+    @property
+    def detected_faults(self) -> list[Fault]:
+        """All faults detected during the phase."""
+        return [fault for faults in self.detected.values() for fault in faults]
+
+
+def random_phase(
+    circuit: Circuit,
+    faults: list[Fault],
+    rng: RngStream,
+    block_size: int = 64,
+    max_patterns: int = 4096,
+    stale_blocks: int = 4,
+    simulator: FaultSimulator | None = None,
+) -> RandomPhaseResult:
+    """Run the random phase; only *useful* patterns are kept.
+
+    A pattern is useful when it is the first detector of at least one
+    not-yet-dropped fault.  ``stale_blocks`` consecutive useless blocks
+    end the phase early.
+    """
+    simulator = simulator or FaultSimulator(circuit)
+    remaining = list(faults)
+    kept: list[BitVector] = []
+    detected: dict[int, list[Fault]] = {}
+    blocks_without_progress = 0
+    generated = 0
+    while remaining and generated < max_patterns and blocks_without_progress < stale_blocks:
+        block = [
+            BitVector.random(circuit.n_inputs, rng)
+            for _ in range(min(block_size, max_patterns - generated))
+        ]
+        generated += len(block)
+        matrix = simulator.detection_matrix(block, remaining)
+        newly_detected_indices: set[int] = set()
+        progress = False
+        for pattern_index, pattern in enumerate(block):
+            fresh = [
+                fault_index
+                for fault_index in range(len(remaining))
+                if fault_index not in newly_detected_indices
+                and matrix[pattern_index, fault_index]
+            ]
+            if not fresh:
+                continue
+            progress = True
+            detected[len(kept)] = [remaining[fault_index] for fault_index in fresh]
+            kept.append(pattern)
+            newly_detected_indices.update(fresh)
+        if newly_detected_indices:
+            remaining = [
+                fault
+                for fault_index, fault in enumerate(remaining)
+                if fault_index not in newly_detected_indices
+            ]
+        blocks_without_progress = 0 if progress else blocks_without_progress + 1
+    return RandomPhaseResult(kept, detected, remaining)

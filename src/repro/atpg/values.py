@@ -1,0 +1,131 @@
+"""The five-valued D-algebra used by PODEM.
+
+A value is a pair ``(good, faulty)`` of three-valued logic values
+(0, 1, or unknown X), describing the net in the fault-free and faulty
+machines simultaneously:
+
+========  =======  =========
+symbol    good     faulty
+========  =======  =========
+``ZERO``  0        0
+``ONE``   1        1
+``D``     1        0
+``DBAR``  0        1
+``X``     X        X
+========  =======  =========
+
+Mixed pairs such as ``(1, X)`` arise naturally during implication and
+are retained (this is Muth's 9-valued refinement; PODEM works the same,
+it just never loses information by over-approximating to X).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Sequence
+
+from repro.circuit.gates import GateType
+
+#: Three-valued constants; 2 encodes X.
+_X3 = 2
+
+
+def _and3(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    if a == 1 and b == 1:
+        return 1
+    return _X3
+
+
+def _or3(a: int, b: int) -> int:
+    if a == 1 or b == 1:
+        return 1
+    if a == 0 and b == 0:
+        return 0
+    return _X3
+
+
+def _xor3(a: int, b: int) -> int:
+    if a == _X3 or b == _X3:
+        return _X3
+    return a ^ b
+
+
+def _not3(a: int) -> int:
+    if a == _X3:
+        return _X3
+    return 1 - a
+
+
+@dataclass(frozen=True)
+class Value:
+    """A (good, faulty) pair of three-valued values (0, 1, 2=X)."""
+
+    good: int
+    faulty: int
+
+    def __post_init__(self) -> None:
+        if self.good not in (0, 1, _X3) or self.faulty not in (0, 1, _X3):
+            raise ValueError(f"three-valued components must be 0/1/2, got {self!r}")
+
+    @property
+    def is_known(self) -> bool:
+        """Both machines fully determined."""
+        return self.good != _X3 and self.faulty != _X3
+
+    @property
+    def is_d_or_dbar(self) -> bool:
+        """A fault effect: both machines known and different."""
+        return self.is_known and self.good != self.faulty
+
+    @property
+    def good_known(self) -> bool:
+        """Good-machine component determined."""
+        return self.good != _X3
+
+    def __str__(self) -> str:
+        names = {(0, 0): "0", (1, 1): "1", (1, 0): "D", (0, 1): "D'"}
+        return names.get((self.good, self.faulty), f"({self.good},{self.faulty})")
+
+
+ZERO = Value(0, 0)
+ONE = Value(1, 1)
+D = Value(1, 0)
+DBAR = Value(0, 1)
+X = Value(_X3, _X3)
+
+
+def value_for_bit(bit: int) -> Value:
+    """ZERO or ONE for a concrete bit."""
+    return ONE if bit else ZERO
+
+
+def eval_gate_value(gtype: GateType, fanins: Sequence[Value]) -> Value:
+    """Evaluate a gate over five-valued fanins (both machines at once)."""
+    if gtype is GateType.CONST0:
+        return ZERO
+    if gtype is GateType.CONST1:
+        return ONE
+    if gtype in (GateType.INPUT, GateType.DFF):
+        raise ValueError(f"{gtype.name} nodes are sources, not evaluated")
+    goods = [v.good for v in fanins]
+    faults = [v.faulty for v in fanins]
+    if gtype is GateType.AND:
+        return Value(reduce(_and3, goods), reduce(_and3, faults))
+    if gtype is GateType.NAND:
+        return Value(_not3(reduce(_and3, goods)), _not3(reduce(_and3, faults)))
+    if gtype is GateType.OR:
+        return Value(reduce(_or3, goods), reduce(_or3, faults))
+    if gtype is GateType.NOR:
+        return Value(_not3(reduce(_or3, goods)), _not3(reduce(_or3, faults)))
+    if gtype is GateType.XOR:
+        return Value(reduce(_xor3, goods), reduce(_xor3, faults))
+    if gtype is GateType.XNOR:
+        return Value(_not3(reduce(_xor3, goods)), _not3(reduce(_xor3, faults)))
+    if gtype is GateType.NOT:
+        return Value(_not3(goods[0]), _not3(faults[0]))
+    if gtype is GateType.BUF:
+        return fanins[0]
+    raise ValueError(f"unknown gate type {gtype!r}")

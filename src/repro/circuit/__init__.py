@@ -1,0 +1,32 @@
+"""Gate-level combinational circuit model and I/O.
+
+The circuit model is the substrate everything else stands on: the fault
+model enumerates its nodes, the simulators evaluate it, the ATPG searches
+it, and the reseeding flow tests it.  Circuits are combinational; the
+sequential ISCAS'89 benchmarks enter the flow through the full-scan
+transformation (:mod:`repro.circuit.fullscan`), exactly as in the paper
+("the full-scan version of ISCAS'89 benchmark circuits").
+"""
+
+from repro.circuit.gates import GateType, eval_gate_bool, eval_gate_words
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.bench import parse_bench, parse_bench_file, write_bench
+from repro.circuit.fullscan import full_scan_view
+from repro.circuit.generate import GeneratorSpec, generate_circuit
+from repro.circuit.validate import CircuitError, validate_circuit
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "Gate",
+    "GateType",
+    "GeneratorSpec",
+    "eval_gate_bool",
+    "eval_gate_words",
+    "full_scan_view",
+    "generate_circuit",
+    "parse_bench",
+    "parse_bench_file",
+    "validate_circuit",
+    "write_bench",
+]

@@ -1,0 +1,50 @@
+"""Full-scan transformation: sequential circuit -> combinational view.
+
+The paper tests "the full-scan version of ISCAS'89 benchmark circuits":
+with full scan, every flip-flop is directly controllable and observable
+through the scan chain, so for test generation the circuit behaves as a
+combinational block whose inputs are PI + flip-flop outputs
+(pseudo-primary inputs, PPI) and whose outputs are PO + flip-flop data
+inputs (pseudo-primary outputs, PPO).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, Gate
+
+#: Suffix appended to a DFF's data-input net when exposed as a PPO.
+PPO_SUFFIX = "_ppo"
+
+
+def full_scan_view(circuit: Circuit, name: str | None = None) -> Circuit:
+    """The combinational full-scan view of ``circuit``.
+
+    Every ``DFF`` gate is removed; its output net becomes a pseudo-primary
+    input, and its data-input net is exposed as a pseudo-primary output
+    (via a BUF named ``<dff>_ppo`` so PPO names never collide with
+    existing nets).  Combinational circuits are returned as a plain copy.
+    """
+    if not circuit.is_sequential():
+        return circuit.copy(name or circuit.name)
+    inputs = list(circuit.inputs)
+    outputs = list(circuit.outputs)
+    gates: list[Gate] = []
+    for gate in circuit.gates.values():
+        if gate.gtype is GateType.DFF:
+            inputs.append(gate.name)
+            ppo_net = f"{gate.name}{PPO_SUFFIX}"
+            gates.append(Gate(ppo_net, GateType.BUF, (gate.fanins[0],)))
+            outputs.append(ppo_net)
+        else:
+            gates.append(gate)
+    scan_name = name or f"{circuit.name}_scan"
+    result = Circuit(scan_name, inputs, outputs, gates)
+    if result.is_sequential():
+        raise AssertionError("full-scan view still contains DFFs")
+    return result
+
+
+def scan_chain_length(circuit: Circuit) -> int:
+    """Number of flip-flops in a sequential circuit (0 if combinational)."""
+    return sum(1 for g in circuit.gates.values() if g.gtype is GateType.DFF)

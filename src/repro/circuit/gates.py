@@ -1,0 +1,146 @@
+"""Gate types and their evaluation semantics.
+
+Two evaluation flavours are provided:
+
+* :func:`eval_gate_bool` — scalar 0/1 evaluation, used by the
+  event-driven reference simulator and the ATPG's forward implication;
+* :func:`eval_gate_words` — bit-parallel evaluation over ``uint64``
+  words (64 patterns at once), used by the packed simulators.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import reduce
+from typing import Sequence
+
+import numpy as np
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class GateType(Enum):
+    """The gate library: the ISCAS ``.bench`` primitive set plus
+    constants and flip-flops (flip-flops only appear in sequential
+    netlists, before the full-scan transformation)."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    DFF = "DFF"
+
+    @property
+    def min_fanin(self) -> int:
+        """Minimum number of fanin nets for this gate type."""
+        return _FANIN_RANGE[self][0]
+
+    @property
+    def max_fanin(self) -> int | None:
+        """Maximum number of fanin nets, or ``None`` for unbounded."""
+        return _FANIN_RANGE[self][1]
+
+    @property
+    def is_source(self) -> bool:
+        """True for nodes with no logic fanin (inputs, constants)."""
+        return self in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+
+
+_FANIN_RANGE: dict[GateType, tuple[int, int | None]] = {
+    GateType.INPUT: (0, 0),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+    GateType.AND: (1, None),
+    GateType.NAND: (1, None),
+    GateType.OR: (1, None),
+    GateType.NOR: (1, None),
+    GateType.XOR: (1, None),
+    GateType.XNOR: (1, None),
+    GateType.NOT: (1, 1),
+    GateType.BUF: (1, 1),
+    GateType.DFF: (1, 1),
+}
+
+#: Gate types whose output is a function of present inputs only.
+COMBINATIONAL_TYPES = frozenset(
+    t for t in GateType if t not in (GateType.DFF, GateType.INPUT)
+)
+
+
+def eval_gate_bool(gtype: GateType, fanin_values: Sequence[int]) -> int:
+    """Evaluate a gate on scalar 0/1 fanin values; returns 0 or 1."""
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype in (GateType.INPUT, GateType.DFF):
+        raise ValueError(f"{gtype.name} nodes are not evaluated; they are sources")
+    if gtype is GateType.AND:
+        return int(all(fanin_values))
+    if gtype is GateType.NAND:
+        return int(not all(fanin_values))
+    if gtype is GateType.OR:
+        return int(any(fanin_values))
+    if gtype is GateType.NOR:
+        return int(not any(fanin_values))
+    if gtype is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, fanin_values)
+    if gtype is GateType.XNOR:
+        return 1 ^ reduce(lambda a, b: a ^ b, fanin_values)
+    if gtype in (GateType.NOT,):
+        return 1 - fanin_values[0]
+    if gtype is GateType.BUF:
+        return fanin_values[0]
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+def eval_gate_words(gtype: GateType, fanin_words: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate a gate on packed ``uint64`` word arrays (bitwise, so each
+    word bit is an independent pattern).  All fanin arrays must share a
+    shape; the result has that shape."""
+    if gtype is GateType.CONST0:
+        raise ValueError("CONST0 has no fanin; materialise zeros at the caller")
+    if gtype is GateType.CONST1:
+        raise ValueError("CONST1 has no fanin; materialise ones at the caller")
+    if gtype in (GateType.INPUT, GateType.DFF):
+        raise ValueError(f"{gtype.name} nodes are not evaluated; they are sources")
+    if gtype is GateType.AND:
+        return reduce(np.bitwise_and, fanin_words)
+    if gtype is GateType.NAND:
+        return reduce(np.bitwise_and, fanin_words) ^ _ALL_ONES
+    if gtype is GateType.OR:
+        return reduce(np.bitwise_or, fanin_words)
+    if gtype is GateType.NOR:
+        return reduce(np.bitwise_or, fanin_words) ^ _ALL_ONES
+    if gtype is GateType.XOR:
+        return reduce(np.bitwise_xor, fanin_words)
+    if gtype is GateType.XNOR:
+        return reduce(np.bitwise_xor, fanin_words) ^ _ALL_ONES
+    if gtype is GateType.NOT:
+        return fanin_words[0] ^ _ALL_ONES
+    if gtype is GateType.BUF:
+        return fanin_words[0].copy()
+    raise ValueError(f"unknown gate type {gtype!r}")
+
+
+def controlling_value(gtype: GateType) -> int | None:
+    """The controlling input value of a gate, or ``None`` if it has none
+    (XOR/XNOR/BUF/NOT).  Used by the PODEM backtrace and the D-frontier
+    analysis."""
+    if gtype in (GateType.AND, GateType.NAND):
+        return 0
+    if gtype in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def inversion_parity(gtype: GateType) -> int:
+    """1 if the gate inverts (NAND/NOR/XNOR/NOT), else 0."""
+    return 1 if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT) else 0

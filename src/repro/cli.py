@@ -1,0 +1,156 @@
+"""The ``python -m repro`` command-line interface.
+
+Subcommands:
+
+* ``catalog`` — list the benchmark circuits and their statistics;
+* ``run``     — execute the full reseeding pipeline for one circuit/TPG
+  and print the per-triplet report;
+* ``atpg``    — run the ATPG substrate alone;
+* ``table1`` / ``table2`` / ``figure2`` — the experiment drivers
+  (equivalent to ``python -m repro.experiments.<name>``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuits import CATALOG, load_circuit
+from repro.utils.tables import AsciiTable
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    table = AsciiTable(
+        ["name", "PI", "PO", "FF", "gates", "kind", "source"],
+        title="Benchmark catalog (ISCAS'85 / ISCAS'89 size classes)",
+    )
+    for entry in CATALOG.values():
+        table.add_row(
+            [
+                entry.name,
+                entry.n_inputs,
+                entry.n_outputs,
+                entry.n_dffs or "-",
+                entry.n_gates,
+                "sequential" if entry.is_sequential else "combinational",
+                "embedded" if entry.embedded else "synthetic",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.flow.pipeline import PipelineConfig, ReseedingPipeline
+    from repro.flow.report import solution_report
+    from repro.reseeding.uniform import storage_comparison, uniformize_solution
+
+    circuit = load_circuit(args.circuit, scale=args.scale)
+    config = PipelineConfig(
+        seed=args.seed,
+        evolution_length=args.evolution_length,
+        cover_method=args.method,
+    )
+    result = ReseedingPipeline(circuit, args.tpg, config).run()
+    print(solution_report(result))
+    if args.uniform:
+        uniform = uniformize_solution(result.trimmed)
+        comparison = storage_comparison(result.trimmed, uniform)
+        print(
+            "\nuniform-T refinement: shared T = "
+            f"{uniform.shared_length}, ROM "
+            f"{comparison['variable_t_bits']} -> {comparison['uniform_t_bits']} bits, "
+            f"test length {comparison['variable_t_test_length']} -> "
+            f"{comparison['uniform_t_test_length']}"
+        )
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.atpg.engine import AtpgEngine
+
+    circuit = load_circuit(args.circuit, scale=args.scale)
+    engine = AtpgEngine(circuit, seed=args.seed)
+    result = engine.run()
+    print(result.summary())
+    if args.patterns:
+        for pattern in result.test_set:
+            print(pattern.to_string())
+    return 0
+
+
+def _delegate(module_main):
+    def runner(args: argparse.Namespace) -> int:
+        module_main(args.rest)
+        return 0
+
+    return runner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    catalog = sub.add_parser("catalog", help="list benchmark circuits")
+    catalog.set_defaults(func=_cmd_catalog)
+
+    run = sub.add_parser("run", help="run the reseeding pipeline")
+    run.add_argument("--circuit", required=True)
+    run.add_argument("--tpg", default="adder")
+    run.add_argument("--scale", type=float, default=0.25)
+    run.add_argument("--seed", type=int, default=2001)
+    run.add_argument("--evolution-length", type=int, default=32)
+    run.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "ilp", "bnb", "grasp", "greedy"],
+        help="covering solver",
+    )
+    run.add_argument(
+        "--uniform",
+        action="store_true",
+        help="also report the uniform-T (shared length) refinement",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    atpg = sub.add_parser("atpg", help="run the ATPG substrate alone")
+    atpg.add_argument("--circuit", required=True)
+    atpg.add_argument("--scale", type=float, default=0.25)
+    atpg.add_argument("--seed", type=int, default=2001)
+    atpg.add_argument(
+        "--patterns", action="store_true", help="print the test patterns"
+    )
+    atpg.set_defaults(func=_cmd_atpg)
+
+    for name in ("table1", "table2", "figure2"):
+        experiment = sub.add_parser(
+            name, help=f"regenerate the paper's {name}", add_help=False
+        )
+        experiment.add_argument("rest", nargs=argparse.REMAINDER)
+        if name == "table1":
+            from repro.experiments.table1 import main as table1_main
+
+            experiment.set_defaults(func=_delegate(table1_main))
+        elif name == "table2":
+            from repro.experiments.table2 import main as table2_main
+
+            experiment.set_defaults(func=_delegate(table2_main))
+        else:
+            from repro.experiments.figure2 import main as figure2_main
+
+            experiment.set_defaults(func=_delegate(figure2_main))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

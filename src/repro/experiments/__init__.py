@@ -1,0 +1,20 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Each module is runnable (``python -m repro.experiments.table1``) and
+exposes a ``compute_*`` function the benchmark harness reuses.
+
+=============  =====================================================
+module         regenerates
+=============  =====================================================
+``table1``     Table 1 — reseeding solutions vs the GATSBY baseline
+``table2``     Table 2 — Detection Matrix reduction statistics
+``figure2``    Figure 2 — reseedings vs test length trade-off
+=============  =====================================================
+
+All drivers run on the synthetic ISCAS-sized stand-ins (see DESIGN.md);
+``--scale`` trades fidelity for runtime (1.0 = full ISCAS sizes).
+"""
+
+from repro.experiments.common import ExperimentConfig, CircuitWorkspace
+
+__all__ = ["CircuitWorkspace", "ExperimentConfig"]

@@ -1,0 +1,190 @@
+"""Shared infrastructure for the experiment drivers.
+
+A :class:`CircuitWorkspace` bundles the per-circuit artefacts every
+experiment needs — the loaded circuit, its compiled fault simulator and
+the (expensive) ATPG result — so the three TPG pipelines and the GATSBY
+baseline all share them, exactly as the paper's flow shares TestGen
+output across generators.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.atpg.engine import AtpgEngine, AtpgResult
+from repro.circuit.netlist import Circuit
+from repro.circuits import load_circuit
+from repro.flow.pipeline import PipelineConfig, PipelineResult, ReseedingPipeline
+from repro.gatsby import GaConfig, GatsbyReseeder, GatsbyResult
+from repro.sim.fault import FaultSimulator
+
+#: Default circuit subset: small-to-mid members of the paper's list so
+#: the drivers finish in minutes at the default scale.  ``--circuits``
+#: or ``--full`` widens the set.
+DEFAULT_CIRCUITS: tuple[str, ...] = (
+    "c499",
+    "c880",
+    "s420",
+    "s641",
+    "s820",
+    "s953",
+    "s1238",
+)
+
+#: The full paper list (Tables 1 and 2).
+FULL_CIRCUITS: tuple[str, ...] = (
+    "c499",
+    "c880",
+    "c1355",
+    "c1908",
+    "c7552",
+    "s420",
+    "s641",
+    "s820",
+    "s838",
+    "s953",
+    "s1238",
+    "s1423",
+    "s5378",
+    "s9234",
+    "s13207",
+    "s15850",
+)
+
+#: Circuits the paper reports GATSBY could not handle; we mirror the
+#: cutoff by gate count so the "-" cells of Table 1 regenerate too.
+GATSBY_GATE_LIMIT = 1200
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scaling and tuning knobs shared by the drivers."""
+
+    circuits: tuple[str, ...] = DEFAULT_CIRCUITS
+    scale: float = 0.25
+    seed: int = 2001
+    evolution_length: int = 32
+    max_random_patterns: int = 1024
+    run_gatsby: bool = True
+
+    def pipeline_config(self, evolution_length: int | None = None) -> PipelineConfig:
+        """The equivalent flow configuration."""
+        return PipelineConfig(
+            seed=self.seed,
+            evolution_length=evolution_length or self.evolution_length,
+            max_random_patterns=self.max_random_patterns,
+        )
+
+
+@dataclass
+class CircuitWorkspace:
+    """Cached per-circuit artefacts: circuit, simulator, ATPG result."""
+
+    name: str
+    circuit: Circuit
+    simulator: FaultSimulator
+    atpg: AtpgResult
+
+    @classmethod
+    def prepare(cls, name: str, config: ExperimentConfig) -> "CircuitWorkspace":
+        """Load (or synthesise) the circuit and run ATPG once."""
+        circuit = load_circuit(name, scale=config.scale)
+        engine = AtpgEngine(
+            circuit,
+            seed=config.seed,
+            max_random_patterns=config.max_random_patterns,
+        )
+        atpg = engine.run()
+        return cls(name, circuit, engine.simulator, atpg)
+
+    def run_pipeline(
+        self, tpg_name: str, config: ExperimentConfig, evolution_length: int | None = None
+    ) -> PipelineResult:
+        """The set-covering flow for one TPG, reusing cached artefacts."""
+        pipeline = ReseedingPipeline(
+            self.circuit,
+            tpg_name,
+            config.pipeline_config(evolution_length),
+            atpg_result=self.atpg,
+            simulator=self.simulator,
+        )
+        return pipeline.run()
+
+    def run_gatsby(
+        self, tpg_name: str, config: ExperimentConfig
+    ) -> GatsbyResult | None:
+        """The GA baseline, or ``None`` for circuits beyond its reach
+        (Table 1's missing GATSBY entries)."""
+        if self.circuit.n_gates > GATSBY_GATE_LIMIT:
+            return None
+        from repro.tpg.registry import make_tpg
+
+        reseeder = GatsbyReseeder(
+            self.circuit,
+            make_tpg(tpg_name, self.circuit.n_inputs),
+            seed=config.seed,
+            evolution_length=config.evolution_length,
+            ga_config=GaConfig(population_size=12, generations=8),
+            stall_limit=8,
+            simulator=self.simulator,
+        )
+        # No ATPG seeding: GATSBY is a standalone simulation-driven tool
+        # ([7][8]); it never sees deterministic patterns.  This is what
+        # makes the set-covering approach win on random-resistant faults.
+        return reseeder.run(self.atpg.target_faults)
+
+
+def make_arg_parser(description: str) -> argparse.ArgumentParser:
+    """The CLI shared by the drivers."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=None,
+        help="circuit names (default: a fast subset of the paper's list)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full circuit list (slow at scale 1.0)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="synthetic circuit size factor, 1.0 = real ISCAS sizes (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=2001, help="master seed")
+    parser.add_argument(
+        "--evolution-length",
+        type=int,
+        default=32,
+        help="triplet evolution length T (default 32)",
+    )
+    parser.add_argument(
+        "--no-gatsby",
+        action="store_true",
+        help="skip the (slow) GATSBY GA baseline",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of an ASCII table"
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate parsed CLI arguments into an ExperimentConfig."""
+    if args.circuits:
+        circuits = tuple(args.circuits)
+    elif args.full:
+        circuits = FULL_CIRCUITS
+    else:
+        circuits = DEFAULT_CIRCUITS
+    return ExperimentConfig(
+        circuits=circuits,
+        scale=args.scale,
+        seed=args.seed,
+        evolution_length=args.evolution_length,
+        run_gatsby=not args.no_gatsby,
+    )

@@ -1,0 +1,12 @@
+"""Single stuck-at fault model and equivalence collapsing."""
+
+from repro.faults.model import Fault, FaultSite, full_fault_list, output_stem_faults
+from repro.faults.collapse import collapse_faults
+
+__all__ = [
+    "Fault",
+    "FaultSite",
+    "collapse_faults",
+    "full_fault_list",
+    "output_stem_faults",
+]

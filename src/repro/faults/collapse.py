@@ -1,0 +1,120 @@
+"""Structural equivalence fault collapsing.
+
+Two faults are *equivalent* when every test for one detects the other;
+collapsing keeps one representative per equivalence class, shrinking the
+ATPG target list and the Detection Matrix column count without changing
+any coverage result.
+
+Implemented rules (the standard gate-local ones):
+
+==========  =====================================
+gate        equivalence (input pin fault ~ output stem fault)
+==========  =====================================
+AND         in/SA0 ~ out/SA0
+NAND        in/SA0 ~ out/SA1
+OR          in/SA1 ~ out/SA1
+NOR         in/SA1 ~ out/SA0
+NOT         in/SA0 ~ out/SA1, in/SA1 ~ out/SA0
+BUF         in/SA0 ~ out/SA0, in/SA1 ~ out/SA1
+XOR, XNOR   (none)
+==========  =====================================
+
+"Input pin fault" resolves to the fanin net's stem fault when the net
+has a single reader, and to the branch fault otherwise — matching how
+:func:`repro.faults.model.full_fault_list` builds the universe.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault, FaultSite
+
+_EQUIV_RULES: dict[GateType, list[tuple[int, int]]] = {
+    GateType.AND: [(0, 0)],
+    GateType.NAND: [(0, 1)],
+    GateType.OR: [(1, 1)],
+    GateType.NOR: [(1, 0)],
+    GateType.NOT: [(0, 1), (1, 0)],
+    GateType.BUF: [(0, 0), (1, 1)],
+}
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[Fault, Fault] = {}
+
+    def find(self, fault: Fault) -> Fault:
+        parent = self._parent.setdefault(fault, fault)
+        if parent is fault or parent == fault:
+            return fault
+        root = self.find(parent)
+        self._parent[fault] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Keep the lexicographically smaller fault as class root so
+            # representative choice is deterministic.
+            if root_b < root_a:
+                root_a, root_b = root_b, root_a
+            self._parent[root_b] = root_a
+
+
+def _input_pin_fault(circuit: Circuit, gate_name: str, pin: int, value: int) -> Fault:
+    from repro.faults.model import effective_reader_count
+
+    net = circuit.gates[gate_name].fanins[pin]
+    if effective_reader_count(circuit, net) > 1:
+        # The net has other observation paths (other gates, or it is a
+        # PO itself): the pin fault is a distinct branch fault and must
+        # NOT be identified with the stem.
+        return Fault.branch(net, gate_name, pin, value)
+    return Fault.stem(net, value)
+
+
+def collapse_faults(
+    circuit: Circuit, faults: list[Fault] | None = None
+) -> list[Fault]:
+    """Collapse ``faults`` (default: the full universe) to representatives.
+
+    Returns one fault per equivalence class, in sorted order.  Every
+    input fault maps to exactly one returned representative.
+    """
+    classes = equivalence_classes(circuit, faults)
+    return sorted(classes)
+
+
+def equivalence_classes(
+    circuit: Circuit, faults: list[Fault] | None = None
+) -> dict[Fault, list[Fault]]:
+    """Map each class representative to all faults in its class."""
+    from repro.faults.model import full_fault_list
+
+    universe = faults if faults is not None else full_fault_list(circuit)
+    uf = _UnionFind()
+    for fault in universe:
+        uf.find(fault)
+    known = set(universe)
+    for gate in circuit.gates.values():
+        rules = _EQUIV_RULES.get(gate.gtype)
+        if not rules:
+            continue
+        for input_value, output_value in rules:
+            output_fault = Fault.stem(gate.name, output_value)
+            if output_fault not in known:
+                continue
+            for pin in range(len(gate.fanins)):
+                input_fault = _input_pin_fault(circuit, gate.name, pin, input_value)
+                if input_fault in known:
+                    uf.union(input_fault, output_fault)
+    classes: dict[Fault, list[Fault]] = {}
+    for fault in universe:
+        classes.setdefault(uf.find(fault), []).append(fault)
+    # Re-root each class on its smallest member for determinism.
+    rerooted: dict[Fault, list[Fault]] = {}
+    for members in classes.values():
+        members.sort()
+        rerooted[members[0]] = members
+    return rerooted

@@ -1,0 +1,13 @@
+"""End-to-end flows: the Figure-1 pipeline and the Figure-2 trade-off
+explorer."""
+
+from repro.flow.pipeline import PipelineConfig, PipelineResult, ReseedingPipeline
+from repro.flow.tradeoff import TradeoffPoint, explore_tradeoff
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "ReseedingPipeline",
+    "TradeoffPoint",
+    "explore_tradeoff",
+]

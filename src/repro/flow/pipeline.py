@@ -1,0 +1,191 @@
+"""The reseeding computation flow (paper Figure 1).
+
+::
+
+    ATPG (TestGen stand-in) --ATPGTS, F--> Initial Reseeding Builder
+        --Detection Matrix--> Matrix Reducer (essentiality + dominance)
+        --reduced matrix--> exact solver (LINGO stand-in)
+        --necessary + minimal triplets--> trimming --> final reseeding N
+
+``ReseedingPipeline.run()`` executes the whole chain for one circuit and
+one TPG, and returns every intermediate artefact (the experiments need
+them all: Table 1 reads the final solution, Table 2 the matrix/reduction
+statistics).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.atpg.engine import AtpgEngine, AtpgResult
+from repro.circuit.netlist import Circuit
+from repro.reseeding.detection_matrix import DetectionMatrix
+from repro.reseeding.initial import InitialReseeding, InitialReseedingBuilder
+from repro.reseeding.triplet import ReseedingSolution, Triplet
+from repro.reseeding.trim import TrimmedSolution, trim_solution
+from repro.setcover.matrix import CoverMatrix
+from repro.setcover.solve import CoverSolution, solve_cover
+from repro.sim.fault import FaultSimulator
+from repro.tpg.base import TestPatternGenerator
+from repro.tpg.registry import make_tpg
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs for one pipeline run.
+
+    ``evolution_length`` is the paper's experimentally tuned T, equal
+    for all candidate triplets (Section 3.1).
+    """
+
+    seed: int = 2001
+    evolution_length: int = 64
+    cover_method: str = "auto"
+    max_random_patterns: int = 4096
+    backtrack_limit: int = 250
+    grasp_iterations: int = 30
+
+
+@dataclass
+class PipelineResult:
+    """Everything the flow produced, plus stage timings (seconds)."""
+
+    circuit_name: str
+    tpg_name: str
+    config: PipelineConfig
+    atpg: AtpgResult
+    initial: InitialReseeding
+    cover: CoverSolution
+    selected_triplets: list[Triplet]
+    trimmed: TrimmedSolution
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_triplets(self) -> int:
+        """|N| — Table 1's '#Triplets'."""
+        return self.trimmed.n_triplets
+
+    @property
+    def test_length(self) -> int:
+        """Global test length after trimming — Table 1's 'Test Length'."""
+        return self.trimmed.test_length
+
+    @property
+    def detection_matrix(self) -> DetectionMatrix:
+        """The initial Detection Matrix."""
+        return self.initial.detection_matrix
+
+    @property
+    def n_necessary(self) -> int:
+        """Necessary (essential) triplets — Table 2's 'Necessary'."""
+        return self.cover.stats.n_essential
+
+    @property
+    def n_from_solver(self) -> int:
+        """Triplets chosen by the exact solver — Table 2's 'LINGO'."""
+        return self.cover.stats.n_solver_selected
+
+    @property
+    def reduced_shape(self) -> tuple[int, int]:
+        """Matrix size after reduction — Table 2's 'After Reduction'."""
+        return self.cover.stats.reduced_shape
+
+    def summary(self) -> str:
+        """One-line digest in Table-1 vocabulary."""
+        return (
+            f"{self.circuit_name}/{self.tpg_name}: #Triplets={self.n_triplets} "
+            f"TestLength={self.test_length} "
+            f"(necessary={self.n_necessary}, solver={self.n_from_solver}, "
+            f"reduced={self.reduced_shape[0]}x{self.reduced_shape[1]})"
+        )
+
+
+class ReseedingPipeline:
+    """Figure 1, as a reusable object.
+
+    ``atpg_result`` and ``simulator`` can be shared across pipelines for
+    the same circuit (Table 1 runs three TPGs per circuit; ATPG and the
+    compiled fault simulator are circuit-level artefacts).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        tpg: TestPatternGenerator | str,
+        config: PipelineConfig | None = None,
+        atpg_result: AtpgResult | None = None,
+        simulator: FaultSimulator | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.config = config or PipelineConfig()
+        self.tpg = (
+            make_tpg(tpg, circuit.n_inputs) if isinstance(tpg, str) else tpg
+        )
+        self.simulator = simulator or FaultSimulator(circuit)
+        self._atpg_result = atpg_result
+
+    def run(self) -> PipelineResult:
+        """Execute ATPG -> matrix -> reduction -> exact cover -> trim."""
+        config = self.config
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        atpg_result = self._atpg_result
+        if atpg_result is None:
+            engine = AtpgEngine(
+                self.circuit,
+                seed=config.seed,
+                max_random_patterns=config.max_random_patterns,
+                backtrack_limit=config.backtrack_limit,
+            )
+            engine.simulator = self.simulator
+            atpg_result = engine.run()
+        timings["atpg"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        builder = InitialReseedingBuilder(
+            self.circuit, self.tpg, seed=config.seed, simulator=self.simulator
+        )
+        initial = builder.build_from_atpg(
+            atpg_result, evolution_length=config.evolution_length
+        )
+        timings["detection_matrix"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cover_matrix = CoverMatrix.from_bool_array(initial.detection_matrix.matrix)
+        cover = solve_cover(
+            cover_matrix,
+            method=config.cover_method,
+            seed=config.seed,
+            grasp_iterations=config.grasp_iterations,
+        )
+        timings["set_cover"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        selected_triplets = [initial.triplets[row] for row in cover.selected]
+        trimmed = trim_solution(
+            self.circuit,
+            self.tpg,
+            selected_triplets,
+            atpg_result.target_faults,
+            simulator=self.simulator,
+        )
+        if trimmed.undetected:
+            raise AssertionError(
+                f"final reseeding misses {len(trimmed.undetected)} faults; "
+                "the covering solution should be complete"
+            )
+        timings["trim"] = time.perf_counter() - start
+
+        return PipelineResult(
+            circuit_name=self.circuit.name,
+            tpg_name=self.tpg.name,
+            config=config,
+            atpg=atpg_result,
+            initial=initial,
+            cover=cover,
+            selected_triplets=selected_triplets,
+            trimmed=trimmed,
+            timings=timings,
+        )

@@ -1,0 +1,88 @@
+"""The reseedings-vs-test-length trade-off explorer (paper Figure 2).
+
+Longer evolutions make each triplet cover more faults, so fewer triplets
+suffice — at the price of a longer global test.  Figure 2 sweeps the
+evolution length T for s1238 on an adder accumulator and watches the
+triplet count fall (11 -> 2 in the paper) while the test length grows
+(5,427 -> 15,551).  ``explore_tradeoff`` regenerates that curve for any
+circuit/TPG: ATPG runs once, then one covering pass per T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atpg.engine import AtpgEngine, AtpgResult
+from repro.circuit.netlist import Circuit
+from repro.flow.pipeline import PipelineConfig, PipelineResult, ReseedingPipeline
+from repro.sim.fault import FaultSimulator
+from repro.tpg.base import TestPatternGenerator
+from repro.tpg.registry import make_tpg
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One sweep point: T, the solution size, and the trimmed length."""
+
+    evolution_length: int
+    n_triplets: int
+    test_length: int
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """(T, #triplets, test length) — handy for plotting."""
+        return (self.evolution_length, self.n_triplets, self.test_length)
+
+
+def explore_tradeoff(
+    circuit: Circuit,
+    tpg: TestPatternGenerator | str,
+    evolution_lengths: list[int],
+    config: PipelineConfig | None = None,
+    atpg_result: AtpgResult | None = None,
+    simulator: FaultSimulator | None = None,
+) -> list[TradeoffPoint]:
+    """Sweep T and return one point per value, in the given order.
+
+    The expected shape (asserted by the Figure-2 benchmark): triplet
+    count is non-increasing in T while the global test length grows.
+    """
+    if not evolution_lengths:
+        raise ValueError("evolution_lengths must be non-empty")
+    if any(t < 1 for t in evolution_lengths):
+        raise ValueError("evolution lengths must be >= 1")
+    base_config = config or PipelineConfig()
+    simulator = simulator or FaultSimulator(circuit)
+    tpg_instance = (
+        make_tpg(tpg, circuit.n_inputs) if isinstance(tpg, str) else tpg
+    )
+    if atpg_result is None:
+        engine = AtpgEngine(
+            circuit,
+            seed=base_config.seed,
+            max_random_patterns=base_config.max_random_patterns,
+            backtrack_limit=base_config.backtrack_limit,
+        )
+        engine.simulator = simulator
+        atpg_result = engine.run()
+    points: list[TradeoffPoint] = []
+    for length in evolution_lengths:
+        run_config = PipelineConfig(
+            seed=base_config.seed,
+            evolution_length=length,
+            cover_method=base_config.cover_method,
+            max_random_patterns=base_config.max_random_patterns,
+            backtrack_limit=base_config.backtrack_limit,
+            grasp_iterations=base_config.grasp_iterations,
+        )
+        pipeline = ReseedingPipeline(
+            circuit,
+            tpg_instance,
+            config=run_config,
+            atpg_result=atpg_result,
+            simulator=simulator,
+        )
+        result = pipeline.run()
+        points.append(
+            TradeoffPoint(length, result.n_triplets, result.test_length)
+        )
+    return points

@@ -1,0 +1,24 @@
+"""GATSBY-style genetic-algorithm reseeding baseline.
+
+GATSBY (Genetic Algorithm based Test Synthesis tool for BIST
+applications, [7][8]) is the prior-art tool Table 1 compares against.
+It computes seeds by simulation-driven evolutionary search; this package
+reimplements its published mechanics so the comparison can be
+regenerated: the GA finds one triplet at a time, each maximising the
+coverage of still-undetected faults, until the target coverage is
+reached.  Because every fitness evaluation is a fault simulation, the
+approach is simulation-bound — the scalability ceiling the paper calls
+out ("since the GATSBY computation process strongly relies on
+simulation, the approach is not applicable to large circuits").
+"""
+
+from repro.gatsby.ga import GaConfig, GeneticAlgorithm, Individual
+from repro.gatsby.reseeder import GatsbyReseeder, GatsbyResult
+
+__all__ = [
+    "GaConfig",
+    "GatsbyReseeder",
+    "GatsbyResult",
+    "GeneticAlgorithm",
+    "Individual",
+]

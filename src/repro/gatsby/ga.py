@@ -1,0 +1,130 @@
+"""A small, generic bit-string genetic algorithm.
+
+Used by the GATSBY baseline to search seed space; kept generic (fitness
+is an injected callable) so tests can drive it with cheap functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class GaConfig:
+    """GA hyper-parameters (small defaults keep fitness call counts —
+    i.e. fault simulations — bounded)."""
+
+    population_size: int = 16
+    generations: int = 12
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.02
+    elitism: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 1 <= self.tournament_size <= self.population_size:
+            raise ValueError("tournament_size must be in [1, population_size]")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elitism < self.population_size:
+            raise ValueError("elitism must be in [0, population_size)")
+
+
+@dataclass(frozen=True)
+class Individual:
+    """A chromosome with its cached fitness."""
+
+    genome: BitVector
+    fitness: float
+
+
+class GeneticAlgorithm:
+    """Maximise ``fitness(genome)`` over fixed-width bit strings."""
+
+    def __init__(
+        self,
+        genome_width: int,
+        fitness: Callable[[BitVector], float],
+        rng: RngStream,
+        config: GaConfig | None = None,
+    ) -> None:
+        if genome_width <= 0:
+            raise ValueError("genome_width must be positive")
+        self.genome_width = genome_width
+        self.fitness = fitness
+        self.rng = rng
+        self.config = config or GaConfig()
+        self.evaluations = 0
+
+    def run(self, seeds: list[BitVector] | None = None) -> Individual:
+        """Evolve and return the best individual ever seen.
+
+        ``seeds`` pre-loads known-good genomes into the initial
+        population (GATSBY seeds with ATPG-derived patterns).
+        """
+        config = self.config
+        population = self._initial_population(seeds or [])
+        best = max(population, key=lambda ind: ind.fitness)
+        for _ in range(config.generations):
+            population.sort(key=lambda ind: ind.fitness, reverse=True)
+            next_population = population[: config.elitism]
+            while len(next_population) < config.population_size:
+                parent_a = self._tournament(population)
+                parent_b = self._tournament(population)
+                child_genome = self._crossover(parent_a.genome, parent_b.genome)
+                child_genome = self._mutate(child_genome)
+                next_population.append(self._evaluate(child_genome))
+            population = next_population
+            generation_best = max(population, key=lambda ind: ind.fitness)
+            if generation_best.fitness > best.fitness:
+                best = generation_best
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, genome: BitVector) -> Individual:
+        self.evaluations += 1
+        return Individual(genome, self.fitness(genome))
+
+    def _initial_population(self, seeds: list[BitVector]) -> list[Individual]:
+        population = [
+            self._evaluate(seed.resized(self.genome_width))
+            for seed in seeds[: self.config.population_size]
+        ]
+        while len(population) < self.config.population_size:
+            population.append(
+                self._evaluate(BitVector.random(self.genome_width, self.rng))
+            )
+        return population
+
+    def _tournament(self, population: list[Individual]) -> Individual:
+        contenders = [
+            population[self.rng.randrange(len(population))]
+            for _ in range(self.config.tournament_size)
+        ]
+        return max(contenders, key=lambda ind: ind.fitness)
+
+    def _crossover(self, a: BitVector, b: BitVector) -> BitVector:
+        if self.rng.random() >= self.config.crossover_rate:
+            return a
+        # uniform crossover: each bit from a random parent
+        mask = self.rng.getrandbits(self.genome_width)
+        merged = (a.value & mask) | (b.value & ~mask)
+        return BitVector(merged & ((1 << self.genome_width) - 1), self.genome_width)
+
+    def _mutate(self, genome: BitVector) -> BitVector:
+        value = genome.value
+        for bit in range(self.genome_width):
+            if self.rng.random() < self.config.mutation_rate:
+                value ^= 1 << bit
+        return BitVector(value, self.genome_width)

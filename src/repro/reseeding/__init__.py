@@ -1,0 +1,26 @@
+"""Reseeding construction: triplets, the Initial Reseeding Builder and
+the Detection Matrix (paper Sections 2, 3 and 3.1)."""
+
+from repro.reseeding.triplet import Triplet, ReseedingSolution
+from repro.reseeding.detection_matrix import DetectionMatrix, build_detection_matrix
+from repro.reseeding.initial import InitialReseedingBuilder, InitialReseeding
+from repro.reseeding.trim import trim_solution, TrimmedSolution
+from repro.reseeding.uniform import (
+    UniformSolution,
+    storage_comparison,
+    uniformize_solution,
+)
+
+__all__ = [
+    "DetectionMatrix",
+    "InitialReseeding",
+    "InitialReseedingBuilder",
+    "ReseedingSolution",
+    "TrimmedSolution",
+    "Triplet",
+    "UniformSolution",
+    "build_detection_matrix",
+    "storage_comparison",
+    "trim_solution",
+    "uniformize_solution",
+]

@@ -1,0 +1,103 @@
+"""The Detection Matrix (paper Section 3).
+
+``D`` has one row per candidate triplet and one column per target fault;
+``D[i, j] = 1`` iff some pattern of triplet ``i``'s test set detects
+fault ``j``.  The optimal-reseeding problem is then::
+
+    minimize   sum(x)
+    subject to D^T x >= 1,   x in {0,1}^M
+
+i.e. unate set covering over the rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.reseeding.triplet import Triplet
+from repro.sim.fault import FaultSimulator
+from repro.tpg.base import TestPatternGenerator
+
+
+@dataclass
+class DetectionMatrix:
+    """Rows = triplets, columns = faults, boolean detection entries."""
+
+    triplets: list[Triplet]
+    faults: list[Fault]
+    matrix: np.ndarray  # bool, shape (n_triplets, n_faults)
+
+    def __post_init__(self) -> None:
+        expected = (len(self.triplets), len(self.faults))
+        if self.matrix.shape != expected:
+            raise ValueError(
+                f"matrix shape {self.matrix.shape} != (triplets, faults) {expected}"
+            )
+        if self.matrix.dtype != np.bool_:
+            self.matrix = self.matrix.astype(bool)
+
+    @property
+    def n_triplets(self) -> int:
+        """Row count (the paper's #Triplets, = |ATPGTS| initially)."""
+        return len(self.triplets)
+
+    @property
+    def n_faults(self) -> int:
+        """Column count (the paper's #Faults)."""
+        return len(self.faults)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_triplets, n_faults) — Table 2's 'Initial Matrix' column."""
+        return (self.n_triplets, self.n_faults)
+
+    def covers_all_faults(self) -> bool:
+        """True iff every fault column has at least one detecting row
+        (the guarantee the initial reseeding is built to provide)."""
+        if self.n_faults == 0:
+            return True
+        return bool(self.matrix.any(axis=0).all())
+
+    def undetected_faults(self) -> list[Fault]:
+        """Faults no candidate triplet detects (must be empty for a
+        well-formed initial reseeding)."""
+        if self.n_triplets == 0:
+            return list(self.faults)
+        covered = self.matrix.any(axis=0)
+        return [f for f, hit in zip(self.faults, covered) if not hit]
+
+    def density(self) -> float:
+        """Fraction of 1 entries (a difficulty indicator for covering)."""
+        if self.matrix.size == 0:
+            return 0.0
+        return float(self.matrix.mean())
+
+    def triplet_fault_sets(self) -> list[set[int]]:
+        """Per-row sets of covered fault column indices (F(triplet_i))."""
+        return [set(np.flatnonzero(self.matrix[i])) for i in range(self.n_triplets)]
+
+
+def build_detection_matrix(
+    circuit: Circuit,
+    tpg: TestPatternGenerator,
+    triplets: list[Triplet],
+    faults: list[Fault],
+    simulator: FaultSimulator | None = None,
+) -> DetectionMatrix:
+    """Fault-simulate every triplet's test set over ``faults``.
+
+    This is the only simulation-heavy step of the set-covering approach —
+    the paper's point that "the number of fault simulations is reduced
+    and limited to the construction of the Detection Matrix".
+    """
+    simulator = simulator or FaultSimulator(circuit)
+    matrix = np.zeros((len(triplets), len(faults)), dtype=bool)
+    for row, triplet in enumerate(triplets):
+        patterns = triplet.test_set(tpg)
+        if patterns:
+            matrix[row, :] = simulator.detected(patterns, faults)
+    return DetectionMatrix(list(triplets), list(faults), matrix)

@@ -1,0 +1,87 @@
+"""Test-length trimming (paper Section 4).
+
+"The global test length reported in Table 1 is computed deleting from
+each test set TS_i the last subsequence of patterns not contributing to
+the fault coverage AFC_i": after the covering pass fixes *which*
+triplets run, each triplet only needs to evolve until the last pattern
+that first-detects some still-undetected fault.  Later patterns add
+nothing and are cut, shortening the global test length without touching
+coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.reseeding.triplet import ReseedingSolution, Triplet
+from repro.sim.fault import FaultSimulator
+from repro.tpg.base import TestPatternGenerator
+
+
+@dataclass(frozen=True)
+class TrimmedSolution:
+    """A reseeding solution with per-triplet trimmed lengths.
+
+    ``delta_coverage[i]`` is the number of faults triplet ``i`` newly
+    detects in sequence order (the paper's AFC_i, as a fault count).
+    """
+
+    solution: ReseedingSolution
+    delta_coverage: tuple[int, ...]
+    undetected: tuple[Fault, ...]
+
+    @property
+    def test_length(self) -> int:
+        """Global test length after trimming."""
+        return self.solution.test_length
+
+    @property
+    def n_triplets(self) -> int:
+        """Triplet count (unchanged by trimming)."""
+        return self.solution.n_triplets
+
+
+def trim_solution(
+    circuit: Circuit,
+    tpg: TestPatternGenerator,
+    triplets: list[Triplet],
+    faults: list[Fault],
+    simulator: FaultSimulator | None = None,
+) -> TrimmedSolution:
+    """Trim each triplet to its last useful pattern, in sequence order.
+
+    Processing triplets in the given order with fault dropping: for each
+    triplet, find the first-detection index of every still-undetected
+    fault; the triplet's trimmed length is ``1 + max`` of those indices
+    (at least 1, since the seed pattern itself is always applied).
+    Coverage over ``faults`` is exactly preserved (property-tested).
+    """
+    simulator = simulator or FaultSimulator(circuit)
+    remaining = list(faults)
+    trimmed: list[Triplet] = []
+    deltas: list[int] = []
+    for triplet in triplets:
+        patterns = triplet.test_set(tpg)
+        if not remaining or not patterns:
+            trimmed.append(triplet.with_length(min(1, triplet.length)))
+            deltas.append(0)
+            continue
+        first_hits = simulator.first_detection_index(patterns, remaining)
+        hit_indices = [i for i in first_hits if i is not None]
+        if not hit_indices:
+            # The covering pass should never select a useless triplet,
+            # but tolerate it: keep only the seed pattern.
+            trimmed.append(triplet.with_length(min(1, triplet.length)))
+            deltas.append(0)
+            continue
+        keep_length = max(hit_indices) + 1
+        trimmed.append(triplet.with_length(keep_length))
+        deltas.append(len(hit_indices))
+        remaining = [
+            fault for fault, hit in zip(remaining, first_hits) if hit is None
+        ]
+    return TrimmedSolution(
+        ReseedingSolution.from_list(trimmed), tuple(deltas), tuple(remaining)
+    )

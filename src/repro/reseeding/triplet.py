@@ -1,0 +1,87 @@
+"""Triplets and reseeding solutions.
+
+A triplet ``(delta, sigma, T)`` fully determines one TPG evolution and
+hence one test set ``TS_i`` (Section 2).  A reseeding solution is an
+ordered set of triplets applied sequentially; its global test length is
+the sum of the triplet lengths and its storage cost (the area-overhead
+proxy the paper minimises) is the triplet count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tpg.base import TestPatternGenerator
+from repro.utils.bitvec import BitVector
+
+
+@dataclass(frozen=True)
+class Triplet:
+    """One TPG seeding: state seed ``delta``, frozen input ``sigma``,
+    evolution length ``length`` (the paper's T_i)."""
+
+    delta: BitVector
+    sigma: BitVector
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"triplet length must be >= 0, got {self.length}")
+
+    def test_set(self, tpg: TestPatternGenerator) -> list[BitVector]:
+        """The patterns this triplet produces on ``tpg``."""
+        return tpg.evolve(self.delta, self.sigma, self.length)
+
+    def with_length(self, length: int) -> "Triplet":
+        """The same seeding truncated/extended to ``length`` clocks."""
+        return Triplet(self.delta, self.sigma, length)
+
+    def storage_bits(self) -> int:
+        """ROM bits to store this triplet (delta + sigma + length field),
+        the area-overhead currency of the paper's trade-off."""
+        length_field = max(1, self.length).bit_length()
+        return self.delta.width + self.sigma.width + length_field
+
+    def __str__(self) -> str:
+        return (
+            f"(delta={self.delta.to_string()}, sigma={self.sigma.to_string()}, "
+            f"T={self.length})"
+        )
+
+
+@dataclass(frozen=True)
+class ReseedingSolution:
+    """An ordered reseeding: triplets applied back to back."""
+
+    triplets: tuple[Triplet, ...]
+
+    @classmethod
+    def from_list(cls, triplets: list[Triplet]) -> "ReseedingSolution":
+        return cls(tuple(triplets))
+
+    @property
+    def n_triplets(self) -> int:
+        """Cardinality |N| — the quantity the set-covering pass minimises."""
+        return len(self.triplets)
+
+    @property
+    def test_length(self) -> int:
+        """Global test length T = sum of triplet lengths."""
+        return sum(t.length for t in self.triplets)
+
+    def storage_bits(self) -> int:
+        """Total ROM bits for the whole solution."""
+        return sum(t.storage_bits() for t in self.triplets)
+
+    def patterns(self, tpg: TestPatternGenerator) -> list[BitVector]:
+        """The concatenated test set TS = TS_0 u TS_1 u ... (in order)."""
+        out: list[BitVector] = []
+        for triplet in self.triplets:
+            out.extend(triplet.test_set(tpg))
+        return out
+
+    def __iter__(self):
+        return iter(self.triplets)
+
+    def __len__(self) -> int:
+        return len(self.triplets)

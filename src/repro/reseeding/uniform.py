@@ -1,0 +1,76 @@
+"""Uniform evolution length — the paper's Section-4 area refinement.
+
+"The area overhead can be further reduced let evolving all the triplets
+for the same interval of time.  In this case the value T must be the
+largest number of clock cycles among the ones required by each triplet
+of the reseeding solution."
+
+Storing one shared T instead of a per-triplet length field trades test
+time (every triplet now runs as long as the slowest one) for seed-ROM
+bits.  :func:`uniformize_solution` performs the conversion and
+:class:`UniformSolution` exposes both costs so the trade can be
+evaluated quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reseeding.triplet import ReseedingSolution, Triplet
+from repro.reseeding.trim import TrimmedSolution
+
+
+@dataclass(frozen=True)
+class UniformSolution:
+    """A reseeding whose triplets all share one evolution length."""
+
+    solution: ReseedingSolution
+    shared_length: int
+
+    @property
+    def n_triplets(self) -> int:
+        """Triplet count (unchanged by uniformisation)."""
+        return self.solution.n_triplets
+
+    @property
+    def test_length(self) -> int:
+        """Global test length: n_triplets * shared_length."""
+        return self.n_triplets * self.shared_length
+
+    def storage_bits(self) -> int:
+        """ROM bits: per-triplet (delta + sigma) plus ONE shared length
+        field — the Section-4 saving versus per-triplet length fields."""
+        per_triplet = sum(
+            t.delta.width + t.sigma.width for t in self.solution.triplets
+        )
+        shared_field = max(1, self.shared_length).bit_length()
+        return per_triplet + shared_field
+
+
+def uniformize_solution(trimmed: TrimmedSolution) -> UniformSolution:
+    """Convert a per-triplet-trimmed solution to the uniform-T form.
+
+    The shared length is the maximum trimmed length, so every fault
+    detected by the variable-length solution is still detected (each
+    triplet runs at least as long as before) — coverage can only grow.
+    """
+    triplets = trimmed.solution.triplets
+    if not triplets:
+        return UniformSolution(ReseedingSolution(()), 0)
+    shared = max(t.length for t in triplets)
+    uniform = ReseedingSolution.from_list(
+        [Triplet(t.delta, t.sigma, shared) for t in triplets]
+    )
+    return UniformSolution(uniform, shared)
+
+
+def storage_comparison(
+    trimmed: TrimmedSolution, uniform: UniformSolution
+) -> dict[str, int]:
+    """Side-by-side cost accounting for the two storage schemes."""
+    return {
+        "variable_t_bits": trimmed.solution.storage_bits(),
+        "uniform_t_bits": uniform.storage_bits(),
+        "variable_t_test_length": trimmed.test_length,
+        "uniform_t_test_length": uniform.test_length,
+    }

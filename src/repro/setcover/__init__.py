@@ -1,0 +1,41 @@
+"""Unate set covering: the optimisation core of the paper.
+
+The reseeding problem reduces to::
+
+    minimize   sum_i x_i
+    subject to for every fault j: sum_{i : D[i,j]=1} x_i >= 1
+               x in {0,1}^M
+
+Pipeline (paper Sections 3.2/3.3 and Figure 1):
+
+1. :mod:`repro.setcover.reduce` — essentiality + row/column dominance,
+   iterated to a fixed point (the Matrix Reducer block);
+2. the residual cyclic core goes to an exact solver —
+   :mod:`repro.setcover.ilp` (LP-based branch & bound, the LINGO
+   stand-in) or :mod:`repro.setcover.exact` (combinatorial B&B) — or to
+   the :mod:`repro.setcover.heuristic` GRASP metaheuristic when it is
+   too large ("local research and meta-heuristic techniques");
+3. :mod:`repro.setcover.solve` orchestrates and reports the statistics
+   Table 2 tracks (necessary triplets, reduced size, solver picks).
+"""
+
+from repro.setcover.matrix import CoverMatrix
+from repro.setcover.reduce import ReductionResult, reduce_matrix
+from repro.setcover.greedy import greedy_cover
+from repro.setcover.exact import branch_and_bound
+from repro.setcover.ilp import ilp_cover
+from repro.setcover.heuristic import grasp_cover
+from repro.setcover.solve import CoverSolution, SolveStats, solve_cover
+
+__all__ = [
+    "CoverMatrix",
+    "CoverSolution",
+    "ReductionResult",
+    "SolveStats",
+    "branch_and_bound",
+    "grasp_cover",
+    "greedy_cover",
+    "ilp_cover",
+    "reduce_matrix",
+    "solve_cover",
+]

@@ -1,0 +1,60 @@
+"""Greedy set covering (Chvatal's ln-approximation), optionally weighted.
+
+Used as the upper-bound seed for branch & bound and as the fallback for
+very large instances.  With ``costs``, rows are ranked by marginal
+coverage per unit cost (the weighted-greedy classic).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.setcover.matrix import CoverMatrix
+
+
+def greedy_cover(
+    matrix: CoverMatrix, costs: Mapping[int, float] | None = None
+) -> list[int]:
+    """Select rows by maximum marginal coverage (per unit cost when
+    ``costs`` is given) until all columns are covered.  Ties break on
+    the smaller row id (deterministic).
+
+    Raises :class:`ValueError` on infeasible instances.
+    """
+    if not matrix.is_feasible():
+        raise ValueError("infeasible covering instance")
+    uncovered = set(matrix.columns)
+    selected: list[int] = []
+    row_sets = {row_id: set(cols) for row_id, cols in matrix.rows.items()}
+    while uncovered:
+        best_row = None
+        best_score = 0.0
+        for row_id, covered in row_sets.items():
+            gain = len(covered & uncovered)
+            if gain == 0:
+                continue
+            cost = float(costs[row_id]) if costs is not None else 1.0
+            if cost <= 0:
+                raise ValueError(f"row {row_id} has non-positive cost {cost}")
+            score = gain / cost
+            if score > best_score or (score == best_score and row_id < best_row):
+                best_row = row_id
+                best_score = score
+        if best_row is None:
+            raise ValueError("greedy stalled on an infeasible instance")
+        selected.append(best_row)
+        uncovered -= row_sets.pop(best_row)
+    return selected
+
+
+def drop_redundant(matrix: CoverMatrix, selected: list[int]) -> list[int]:
+    """Remove rows that are redundant within a feasible solution
+    (every column they uniquely covered is covered by another selected
+    row).  Scans in reverse selection order, so late greedy picks are
+    dropped first."""
+    chosen = list(selected)
+    for row_id in list(reversed(selected)):
+        trial = [r for r in chosen if r != row_id]
+        if trial and matrix.validate_solution(trial):
+            chosen = trial
+    return chosen

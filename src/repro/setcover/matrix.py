@@ -1,0 +1,143 @@
+"""The covering-matrix data structure.
+
+Rows and columns are identified by their original integer indices so
+solutions survive reduction (removed rows/columns never invalidate the
+ids of the survivors).  Row membership is stored both as per-row column
+sets and per-column row sets — the reduction rules need both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+@dataclass
+class CoverMatrix:
+    """A unate covering instance.
+
+    ``rows`` maps row id -> set of column ids the row covers;
+    ``columns`` maps column id -> set of row ids covering it.  The two
+    views are kept consistent by the mutation helpers.
+    """
+
+    rows: dict[int, set[int]]
+    columns: dict[int, set[int]]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_bool_array(cls, array: np.ndarray) -> "CoverMatrix":
+        """Build from a boolean array with shape (n_rows, n_columns)."""
+        if array.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {array.shape}")
+        rows: dict[int, set[int]] = {}
+        columns: dict[int, set[int]] = {}
+        n_rows, n_columns = array.shape
+        for column_id in range(n_columns):
+            columns[column_id] = set()
+        for row_id in range(n_rows):
+            covered = set(int(c) for c in np.flatnonzero(array[row_id]))
+            rows[row_id] = covered
+            for column_id in covered:
+                columns[column_id].add(row_id)
+        return cls(rows, columns)
+
+    @classmethod
+    def from_row_sets(
+        cls, row_sets: Mapping[int, Iterable[int]], n_columns: int | None = None
+    ) -> "CoverMatrix":
+        """Build from explicit row -> columns sets.
+
+        ``n_columns`` adds empty columns ``0..n_columns-1`` even when no
+        row covers them (an infeasible instance, detected by solvers).
+        """
+        rows = {int(r): set(int(c) for c in cols) for r, cols in row_sets.items()}
+        columns: dict[int, set[int]] = {}
+        if n_columns is not None:
+            for column_id in range(n_columns):
+                columns[column_id] = set()
+        for row_id, covered in rows.items():
+            for column_id in covered:
+                columns.setdefault(column_id, set()).add(row_id)
+        return cls(rows, columns)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of (surviving) rows."""
+        return len(self.rows)
+
+    @property
+    def n_columns(self) -> int:
+        """Number of (surviving) columns."""
+        return len(self.columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_rows, n_columns)."""
+        return (self.n_rows, self.n_columns)
+
+    def is_empty(self) -> bool:
+        """True when no columns remain to cover."""
+        return not self.columns
+
+    def is_feasible(self) -> bool:
+        """Every column has at least one covering row."""
+        return all(covering for covering in self.columns.values())
+
+    def uncoverable_columns(self) -> list[int]:
+        """Columns no row covers (infeasibility witnesses)."""
+        return sorted(c for c, covering in self.columns.items() if not covering)
+
+    def validate_solution(self, selected: Iterable[int]) -> bool:
+        """True iff the selected rows cover every column."""
+        covered: set[int] = set()
+        selected = set(selected)
+        for row_id in selected:
+            if row_id not in self.rows:
+                return False
+            covered |= self.rows[row_id]
+        return covered >= set(self.columns)
+
+    def copy(self) -> "CoverMatrix":
+        """A deep, independent copy."""
+        return CoverMatrix(
+            {r: set(cols) for r, cols in self.rows.items()},
+            {c: set(rws) for c, rws in self.columns.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # mutation (used by the reducer)
+    # ------------------------------------------------------------------
+
+    def remove_row(self, row_id: int) -> None:
+        """Delete a row, updating the column view."""
+        for column_id in self.rows.pop(row_id):
+            self.columns[column_id].discard(row_id)
+
+    def remove_column(self, column_id: int) -> None:
+        """Delete a column, updating the row view."""
+        for row_id in self.columns.pop(column_id):
+            self.rows[row_id].discard(column_id)
+
+    def select_row(self, row_id: int) -> set[int]:
+        """Commit a row to the solution: delete it and every column it
+        covers; returns the columns removed."""
+        covered = set(self.rows[row_id])
+        for column_id in covered:
+            for other_row in self.columns.pop(column_id):
+                if other_row != row_id:
+                    self.rows[other_row].discard(column_id)
+        self.rows.pop(row_id)
+        return covered
+
+    def __repr__(self) -> str:
+        return f"CoverMatrix({self.n_rows} rows x {self.n_columns} columns)"

@@ -1,0 +1,132 @@
+"""The set-covering orchestrator (the right half of Figure 1).
+
+``solve_cover`` runs reduction, then dispatches the residual core to an
+exact solver or the GRASP metaheuristic depending on size, and merges
+essential rows with the core picks.  The returned statistics are exactly
+what Table 2 reports per circuit/TPG: initial matrix size, necessary
+(essential) triplet count, reduced matrix size, and the number of
+triplets contributed by the exact solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.setcover.exact import branch_and_bound
+from repro.setcover.heuristic import grasp_cover
+from repro.setcover.ilp import ilp_cover
+from repro.setcover.matrix import CoverMatrix
+from repro.setcover.reduce import reduce_matrix
+
+#: Core sizes (rows * columns) above which `auto` switches to GRASP.
+AUTO_EXACT_CELL_LIMIT = 250_000
+
+
+@dataclass
+class SolveStats:
+    """Covering statistics in Table 2's vocabulary."""
+
+    initial_shape: tuple[int, int]
+    n_essential: int
+    reduced_shape: tuple[int, int]
+    n_solver_selected: int
+    solver: str
+    optimal: bool
+    reduction_iterations: int
+
+    @property
+    def closed_by_reduction(self) -> bool:
+        """Reduction alone solved the instance (empty core)."""
+        return self.reduced_shape == (0, 0)
+
+
+@dataclass
+class CoverSolution:
+    """Selected row ids (essentials + solver picks) and statistics."""
+
+    selected: list[int]
+    essential: list[int]
+    solver_selected: list[int]
+    stats: SolveStats
+
+    @property
+    def n_selected(self) -> int:
+        """Solution cardinality |N|."""
+        return len(self.selected)
+
+
+def solve_cover(
+    matrix: CoverMatrix,
+    method: str = "auto",
+    seed: int = 2001,
+    grasp_iterations: int = 30,
+    costs: dict[int, float] | None = None,
+) -> CoverSolution:
+    """Solve a unate covering instance end to end.
+
+    ``method``:
+
+    * ``"auto"`` — reduce, then ILP on small cores, GRASP on huge ones;
+    * ``"ilp"`` — always the LP-based exact solver (LINGO stand-in);
+    * ``"bnb"`` — always the combinatorial branch & bound;
+    * ``"grasp"`` — always the metaheuristic;
+    * ``"greedy"`` — reduction + greedy (fast, approximate).
+
+    ``costs`` switches the objective from minimum cardinality to minimum
+    total row cost (the exact solvers and greedy honour it; GRASP is
+    cardinality-only and rejects it).
+    """
+    if method not in ("auto", "ilp", "bnb", "grasp", "greedy"):
+        raise ValueError(f"unknown method {method!r}")
+    initial_shape = matrix.shape
+    reduction = reduce_matrix(matrix, costs=costs)
+    core = reduction.core
+    optimal = True
+    solver = "none"
+    core_selected: list[int] = []
+    if not core.is_empty():
+        cells = core.n_rows * core.n_columns
+        chosen_method = method
+        if method == "auto":
+            chosen_method = "ilp" if cells <= AUTO_EXACT_CELL_LIMIT else "grasp"
+        if chosen_method == "grasp" and costs is not None:
+            raise ValueError("grasp does not support weighted covering")
+        if chosen_method == "ilp":
+            ilp = ilp_cover(core, costs=costs)
+            core_selected = ilp.selected
+            optimal = ilp.optimal
+            solver = "ilp"
+        elif chosen_method == "bnb":
+            bnb = branch_and_bound(core, costs=costs)
+            core_selected = bnb.selected
+            optimal = bnb.optimal
+            solver = "bnb"
+        elif chosen_method == "grasp":
+            grasp = grasp_cover(core, seed=seed, iterations=grasp_iterations)
+            core_selected = grasp.selected
+            optimal = False
+            solver = "grasp"
+        else:  # greedy
+            from repro.setcover.greedy import drop_redundant, greedy_cover
+
+            core_selected = drop_redundant(core, greedy_cover(core, costs))
+            optimal = False
+            solver = "greedy"
+    selected = sorted(set(reduction.essential_rows) | set(core_selected))
+    if not matrix.validate_solution(selected):
+        raise AssertionError("solver produced a non-covering solution")
+    stats = SolveStats(
+        initial_shape=initial_shape,
+        n_essential=len(reduction.essential_rows),
+        reduced_shape=core.shape if not core.is_empty() else (0, 0),
+        n_solver_selected=len(core_selected),
+        solver=solver,
+        optimal=optimal,
+        reduction_iterations=reduction.iterations,
+    )
+    return CoverSolution(
+        selected=selected,
+        essential=sorted(reduction.essential_rows),
+        solver_selected=sorted(core_selected),
+        stats=stats,
+    )

@@ -1,0 +1,150 @@
+"""Bit-parallel true-value logic simulation.
+
+A :class:`CompiledCircuit` lowers the string-keyed :class:`Circuit` to
+integer arrays once; simulation then walks gates in topological order
+evaluating 64 patterns per ``uint64`` word with numpy bitwise ops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.gates import GateType, eval_gate_words
+from repro.circuit.netlist import Circuit
+from repro.utils.bitvec import WORD_BITS, BitVector, pack_patterns, unpack_words
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class CompiledCircuit:
+    """A circuit lowered for fast repeated simulation.
+
+    Attributes of interest:
+
+    * ``order`` — node names in topological order;
+    * ``index`` — name -> dense node id (ids follow ``order``);
+    * ``gate_types`` / ``gate_fanins`` — per-node gate type and fanin ids
+      (sources have empty fanins).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        if circuit.is_sequential():
+            raise ValueError(
+                f"circuit {circuit.name!r} is sequential; take full_scan_view() first"
+            )
+        self.circuit = circuit
+        self.order: list[str] = circuit.topo_order()
+        self.index: dict[str, int] = {name: i for i, name in enumerate(self.order)}
+        self.n_nodes = len(self.order)
+        self.input_ids = np.array(
+            [self.index[name] for name in circuit.inputs], dtype=np.int64
+        )
+        self.output_ids = np.array(
+            [self.index[name] for name in circuit.outputs], dtype=np.int64
+        )
+        self.gate_types: list[GateType] = []
+        self.gate_fanins: list[tuple[int, ...]] = []
+        input_set = set(circuit.inputs)
+        for name in self.order:
+            if name in input_set:
+                self.gate_types.append(GateType.INPUT)
+                self.gate_fanins.append(())
+            else:
+                gate = circuit.gates[name]
+                self.gate_types.append(gate.gtype)
+                self.gate_fanins.append(
+                    tuple(self.index[f] for f in gate.fanins)
+                )
+        # Fanout adjacency in dense ids (for cone walks in the fault sim).
+        fanout: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        for node_id, fanins in enumerate(self.gate_fanins):
+            for fanin_id in fanins:
+                fanout[fanin_id].append(node_id)
+        self.fanout_ids: list[tuple[int, ...]] = [tuple(f) for f in fanout]
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self.input_ids)
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of primary outputs."""
+        return len(self.output_ids)
+
+    def simulate_words(self, input_words: np.ndarray) -> np.ndarray:
+        """Simulate packed input words.
+
+        ``input_words`` has shape ``(n_inputs, n_words)``; the result has
+        shape ``(n_nodes, n_words)`` and holds every node's value words
+        (node id order).
+        """
+        if input_words.shape[0] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input rows, got {input_words.shape[0]}"
+            )
+        n_words = input_words.shape[1]
+        values = np.zeros((self.n_nodes, n_words), dtype=np.uint64)
+        values[self.input_ids, :] = input_words
+        for node_id in range(self.n_nodes):
+            gtype = self.gate_types[node_id]
+            if gtype is GateType.INPUT:
+                continue
+            if gtype is GateType.CONST0:
+                continue  # already zeros
+            if gtype is GateType.CONST1:
+                values[node_id, :] = _ALL_ONES
+                continue
+            fanins = [values[f] for f in self.gate_fanins[node_id]]
+            values[node_id, :] = eval_gate_words(gtype, fanins)
+        return values
+
+    def simulate_patterns(self, patterns: Sequence[BitVector]) -> list[BitVector]:
+        """Simulate individual patterns; returns one output vector per
+        pattern (bit ``k`` = value of ``circuit.outputs[k]``)."""
+        if not patterns:
+            return []
+        input_words = pack_patterns(list(patterns), self.n_inputs)
+        values = self.simulate_words(input_words)
+        output_words = values[self.output_ids, :]
+        return unpack_words(output_words, len(patterns))
+
+    def output_cone_ids(self, node_id: int) -> list[int]:
+        """Transitive fanout of ``node_id`` in topological order,
+        excluding ``node_id`` itself."""
+        in_cone = np.zeros(self.n_nodes, dtype=bool)
+        frontier = [node_id]
+        members: list[int] = []
+        while frontier:
+            current = frontier.pop()
+            for fanout_id in self.fanout_ids[current]:
+                if not in_cone[fanout_id]:
+                    in_cone[fanout_id] = True
+                    members.append(fanout_id)
+                    frontier.append(fanout_id)
+        members.sort()
+        return members
+
+
+def simulate_patterns(
+    circuit: Circuit, patterns: Sequence[BitVector]
+) -> list[BitVector]:
+    """One-shot convenience wrapper around :class:`CompiledCircuit`."""
+    return CompiledCircuit(circuit).simulate_patterns(patterns)
+
+
+def n_words_for(n_patterns: int) -> int:
+    """Number of 64-bit words needed for ``n_patterns`` patterns."""
+    return (n_patterns + WORD_BITS - 1) // WORD_BITS
+
+
+def tail_mask(n_patterns: int) -> np.ndarray:
+    """Per-word mask of valid pattern bits for ``n_patterns`` patterns."""
+    n_words = n_words_for(n_patterns)
+    mask = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+    tail = n_patterns % WORD_BITS
+    if tail and n_words:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask

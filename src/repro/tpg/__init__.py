@@ -1,0 +1,39 @@
+"""Test Pattern Generator (TPG) models.
+
+The Functional BIST idea is to reuse a module already present in the
+system as the pattern generator.  The paper evaluates three
+accumulator-based TPGs — adder, subtracter and multiplier — which we
+model here, plus a multi-polynomial LFSR (the classic reseeding target
+of Hellebrand et al. [3][4]) to demonstrate the method's independence
+from the generator ("it is not restricted to any specific modules").
+"""
+
+from repro.tpg.base import TestPatternGenerator
+from repro.tpg.accumulator import (
+    AdderAccumulator,
+    MultiplierAccumulator,
+    SubtracterAccumulator,
+)
+from repro.tpg.lfsr import Lfsr, MultiPolynomialLfsr, default_polynomials
+from repro.tpg.hardware import (
+    NetlistTpg,
+    adder_accumulator_netlist,
+    subtracter_accumulator_netlist,
+)
+from repro.tpg.registry import TPG_REGISTRY, make_tpg, tpg_names
+
+__all__ = [
+    "AdderAccumulator",
+    "Lfsr",
+    "MultiPolynomialLfsr",
+    "MultiplierAccumulator",
+    "NetlistTpg",
+    "SubtracterAccumulator",
+    "TPG_REGISTRY",
+    "TestPatternGenerator",
+    "adder_accumulator_netlist",
+    "default_polynomials",
+    "make_tpg",
+    "subtracter_accumulator_netlist",
+    "tpg_names",
+]

@@ -1,0 +1,75 @@
+"""Accumulator-based TPGs (the paper's three generators).
+
+An accumulator TPG holds the running value in its state register and
+combines it with the (frozen) input register each clock:
+
+* adder:        ``S <- (S + sigma) mod 2^n``  (arithmetic BIST classic)
+* subtracter:   ``S <- (S - sigma) mod 2^n``
+* multiplier:   ``S <- (S * sigma) mod 2^n``
+
+These model the "accumulator-based units including arithmetic functions
+such as adder, multiplier and subtracter, which are quite common in the
+actual SoCs" of Section 4.
+"""
+
+from __future__ import annotations
+
+from repro.tpg.base import TestPatternGenerator
+from repro.utils.bitvec import BitVector
+
+
+class AdderAccumulator(TestPatternGenerator):
+    """Additive accumulator: the state walks an arithmetic progression.
+
+    With an odd ``sigma`` the progression visits all ``2^n`` states
+    before repeating, which is what makes adder accumulators useful
+    pattern generators.
+    """
+
+    @property
+    def name(self) -> str:
+        return "adder"
+
+    def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
+        return state + sigma
+
+    def suggest_sigma(self, rng) -> BitVector:
+        # An odd increment is coprime with 2^n: maximal period.
+        return BitVector.random(self.width, rng).set_bit(0, 1)
+
+
+class SubtracterAccumulator(TestPatternGenerator):
+    """Subtractive accumulator: the adder's mirror image."""
+
+    @property
+    def name(self) -> str:
+        return "subtracter"
+
+    def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
+        return state - sigma
+
+    def suggest_sigma(self, rng) -> BitVector:
+        return BitVector.random(self.width, rng).set_bit(0, 1)
+
+
+class MultiplierAccumulator(TestPatternGenerator):
+    """Multiplicative accumulator.
+
+    An even multiplicand shifts zeros into the low bits every clock and
+    the state collapses toward 0, so :meth:`suggest_sigma` always
+    returns an odd value (the multiplicative group mod ``2^n``).
+    """
+
+    @property
+    def name(self) -> str:
+        return "multiplier"
+
+    def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
+        return state * sigma
+
+    def suggest_sigma(self, rng) -> BitVector:
+        sigma = BitVector.random(self.width, rng).set_bit(0, 1)
+        if self.width >= 2 and sigma.value == 1:
+            # sigma = 1 freezes the state; nudge to 3 (still odd).
+            sigma = sigma.set_bit(1, 1)
+        return sigma

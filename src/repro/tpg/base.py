@@ -1,0 +1,73 @@
+"""The TPG interface and triplet evolution semantics.
+
+A TPG of width ``n`` has a state register (seeded with ``delta``) and an
+input register (held at ``sigma`` for the whole evolution).  Started
+from a triplet ``(delta, sigma, T)``, it emits one pattern per clock for
+``T`` clocks; the emitted pattern at clock 0 is ``delta`` itself, so a
+length-1 evolution reproduces the seed exactly — this is the paper's
+"fixing tau = '0', the test set TS provided by the reseeding corresponds
+to the ATPG test set" property, and it guarantees the initial reseeding
+covers the fault list completely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.utils.bitvec import BitVector
+
+
+class TestPatternGenerator(ABC):
+    """A width-``n`` sequential pattern generator."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"TPG width must be positive, got {width}")
+        self.width = width
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports (defaults to the class name)."""
+        return type(self).__name__
+
+    @abstractmethod
+    def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
+        """One clock of evolution: the next state-register value."""
+
+    def evolve(
+        self, delta: BitVector, sigma: BitVector, length: int
+    ) -> list[BitVector]:
+        """The test set of triplet ``(delta, sigma, length)``: the
+        ``length`` patterns appearing at the TPG outputs, starting with
+        ``delta`` itself."""
+        self._check_vector("delta", delta)
+        self._check_vector("sigma", sigma)
+        if length < 0:
+            raise ValueError(f"evolution length must be >= 0, got {length}")
+        patterns: list[BitVector] = []
+        state = delta
+        for _ in range(length):
+            patterns.append(state)
+            state = self.next_state(state, sigma)
+        return patterns
+
+    def suggest_sigma(self, rng) -> BitVector:
+        """A random input-register value suitable for this TPG.
+
+        Subclasses override when some sigmas degenerate (e.g. an even
+        multiplicand collapses a multiplicative accumulator to 0).
+        """
+        return BitVector.random(self.width, rng)
+
+    def period_bound(self) -> int:
+        """A trivial upper bound on the state-sequence period."""
+        return 1 << self.width
+
+    def _check_vector(self, label: str, vector: BitVector) -> None:
+        if vector.width != self.width:
+            raise ValueError(
+                f"{label} width {vector.width} != TPG width {self.width}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(width={self.width})"

@@ -1,0 +1,122 @@
+"""Gate-level realisations of the accumulator TPGs.
+
+The Functional BIST premise is that the TPG *is* existing mission
+hardware.  This module makes that concrete: it synthesises the
+combinational next-state logic of the adder/subtracter accumulators as
+gate-level :class:`~repro.circuit.netlist.Circuit` objects (ripple-carry
+structure), so the generator itself can be
+
+* simulated with the same packed logic simulator as the UUT,
+* checked for equivalence against the behavioural model
+  (property-tested in ``tests/test_tpg_hardware.py``), and
+* *tested* — the TPG is mission logic, so its own stuck-at faults can
+  be targeted by the very flow it drives.
+
+Netlist interface: inputs ``s0..s{n-1}`` (state register), ``g0..g{n-1}``
+(sigma register); outputs ``n0..n{n-1}`` (next state).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, Gate
+from repro.sim.logic import CompiledCircuit
+from repro.tpg.base import TestPatternGenerator
+from repro.utils.bitvec import BitVector
+
+
+def adder_accumulator_netlist(width: int, name: str | None = None) -> Circuit:
+    """A ripple-carry adder: ``next = state + sigma (mod 2^width)``.
+
+    Full-adder cell per bit: sum = a ^ b ^ cin; cout = (a&b) | (cin&(a^b)).
+    The final carry-out is discarded (modular wrap).
+    """
+    return _ripple_netlist(width, subtract=False, name=name or f"acc_add{width}")
+
+
+def subtracter_accumulator_netlist(width: int, name: str | None = None) -> Circuit:
+    """A ripple-borrow subtracter: ``next = state - sigma (mod 2^width)``.
+
+    Implemented as ``state + ~sigma + 1`` (two's complement): the sigma
+    bits are inverted and the LSB carry-in is constant 1.
+    """
+    return _ripple_netlist(width, subtract=True, name=name or f"acc_sub{width}")
+
+
+def _ripple_netlist(width: int, subtract: bool, name: str) -> Circuit:
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    inputs = [f"s{i}" for i in range(width)] + [f"g{i}" for i in range(width)]
+    outputs = [f"n{i}" for i in range(width)]
+    gates: list[Gate] = []
+    carry: str | None = None
+    if subtract:
+        gates.append(Gate("c_in", GateType.CONST1, ()))
+        carry = "c_in"
+    for bit in range(width):
+        a = f"s{bit}"
+        if subtract:
+            gates.append(Gate(f"gb{bit}", GateType.NOT, (f"g{bit}",)))
+            b = f"gb{bit}"
+        else:
+            b = f"g{bit}"
+        half = f"h{bit}"  # a ^ b
+        gates.append(Gate(half, GateType.XOR, (a, b)))
+        if carry is None:  # bit 0 of the adder: no carry-in
+            gates.append(Gate(f"n{bit}", GateType.BUF, (half,)))
+            if width > 1:
+                gates.append(Gate(f"c{bit}", GateType.AND, (a, b)))
+                carry = f"c{bit}"
+        else:
+            gates.append(Gate(f"n{bit}", GateType.XOR, (half, carry)))
+            if bit < width - 1:
+                gates.append(Gate(f"ab{bit}", GateType.AND, (a, b)))
+                gates.append(Gate(f"hc{bit}", GateType.AND, (half, carry)))
+                gates.append(Gate(f"c{bit}", GateType.OR, (f"ab{bit}", f"hc{bit}")))
+                carry = f"c{bit}"
+    return Circuit(name, inputs, outputs, gates)
+
+
+class NetlistTpg(TestPatternGenerator):
+    """A TPG whose next-state function is a gate-level netlist.
+
+    The netlist must expose the interface documented in the module
+    docstring (``s*``/``g*`` inputs, ``n*`` outputs, all of ``width``).
+    Evolution runs the compiled netlist once per clock, demonstrating
+    behaviour/structure equivalence for the accumulators and letting
+    arbitrary custom hardware act as a generator.
+    """
+
+    def __init__(self, netlist: Circuit, width: int) -> None:
+        super().__init__(width)
+        expected_inputs = [f"s{i}" for i in range(width)] + [
+            f"g{i}" for i in range(width)
+        ]
+        expected_outputs = [f"n{i}" for i in range(width)]
+        if list(netlist.inputs) != expected_inputs:
+            raise ValueError(
+                f"netlist inputs {netlist.inputs[:4]}... do not match the "
+                f"s*/g* convention for width {width}"
+            )
+        if list(netlist.outputs) != expected_outputs:
+            raise ValueError(
+                f"netlist outputs {netlist.outputs[:4]}... do not match the "
+                f"n* convention for width {width}"
+            )
+        self.netlist = netlist
+        self._compiled = CompiledCircuit(netlist)
+
+    @property
+    def name(self) -> str:
+        return f"netlist:{self.netlist.name}"
+
+    def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
+        self._check_vector("state", state)
+        self._check_vector("sigma", sigma)
+        stimulus = state.concat(sigma)
+        return self._compiled.simulate_patterns([stimulus])[0]
+
+    def suggest_sigma(self, rng) -> BitVector:
+        # Mirror the behavioural accumulators: odd increments maximise
+        # the walk period for both add and subtract structures.
+        return BitVector.random(self.width, rng).set_bit(0, 1)

@@ -1,0 +1,151 @@
+"""LFSR-based TPGs, including the multi-polynomial reseeding generator.
+
+Reseeding was born with LFSRs (Hellebrand et al. [3][4]): a seed loaded
+into a linear feedback shift register expands into a pattern sequence.
+The multi-polynomial variant stores a small bank of feedback polynomials
+and lets each seed pick its polynomial through the input register — in
+our triplet terms, ``sigma`` selects the polynomial and ``delta`` is the
+seed, so the set-covering reseeding machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.tpg.base import TestPatternGenerator
+from repro.utils.bitvec import BitVector
+
+#: Primitive-polynomial tap tables (Fibonacci form, taps as bit indices
+#: contributing to the feedback XOR) for a range of widths.  For widths
+#: not listed, a dense fallback polynomial is synthesised; it may not be
+#: primitive (shorter period), which the reseeding flow tolerates.
+_PRIMITIVE_TAPS: dict[int, tuple[int, ...]] = {
+    2: (1, 0),
+    3: (2, 1),
+    4: (3, 2),
+    5: (4, 2),
+    6: (5, 4),
+    7: (6, 5),
+    8: (7, 5, 4, 3),
+    9: (8, 4),
+    10: (9, 6),
+    11: (10, 8),
+    12: (11, 10, 9, 3),
+    13: (12, 11, 10, 7),
+    14: (13, 12, 11, 1),
+    15: (14, 13),
+    16: (15, 14, 12, 3),
+    17: (16, 13),
+    18: (17, 10),
+    19: (18, 17, 16, 13),
+    20: (19, 16),
+    24: (23, 22, 21, 16),
+    28: (27, 24),
+    32: (31, 21, 1, 0),
+    40: (39, 37, 20, 18),
+    48: (47, 46, 20, 19),
+    64: (63, 62, 60, 59),
+}
+
+
+def taps_for_width(width: int, variant: int = 0) -> tuple[int, ...]:
+    """A feedback tap set for ``width``-bit LFSRs.
+
+    ``variant`` perturbs the base taps to build polynomial banks; variant
+    0 is the table entry (primitive where known).
+    """
+    base = _PRIMITIVE_TAPS.get(width)
+    if base is None:
+        # Fallback: x^n + x^(n/2) + 1 -like shape (deduped for tiny widths).
+        base = tuple(sorted({width - 1, max(0, width // 2 - 1)}, reverse=True))
+    if variant == 0:
+        return base
+    # Add one extra tap pair, wrapping inside the register.
+    extra = (variant * 2 - 1) % max(1, width - 1)
+    taps = set(base) ^ {extra, (extra + 1) % width}
+    if not taps:
+        taps = set(base)
+    return tuple(sorted(taps, reverse=True))
+
+
+def default_polynomials(width: int, count: int = 4) -> list[tuple[int, ...]]:
+    """A bank of ``count`` distinct tap sets for a multi-poly LFSR."""
+    bank: list[tuple[int, ...]] = []
+    variant = 0
+    while len(bank) < count:
+        taps = taps_for_width(width, variant)
+        if taps not in bank:
+            bank.append(taps)
+        variant += 1
+        if variant > 4 * count:
+            break
+    return bank
+
+
+class Lfsr(TestPatternGenerator):
+    """A Fibonacci LFSR with a fixed feedback polynomial.
+
+    ``sigma`` is ignored by the state update (a plain LFSR has no usable
+    input register); it is accepted so the triplet interface stays
+    uniform.
+    """
+
+    def __init__(self, width: int, taps: tuple[int, ...] | None = None) -> None:
+        super().__init__(width)
+        self.taps = tuple(taps) if taps is not None else taps_for_width(width)
+        if not self.taps or any(not 0 <= t < width for t in self.taps):
+            raise ValueError(f"invalid tap set {self.taps} for width {width}")
+
+    @property
+    def name(self) -> str:
+        return "lfsr"
+
+    def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= state.bit(tap)
+        shifted = (state.value << 1) | feedback
+        return BitVector(shifted, self.width)
+
+    def suggest_sigma(self, rng) -> BitVector:
+        return BitVector.zeros(self.width)  # unused by the update
+
+
+class MultiPolynomialLfsr(TestPatternGenerator):
+    """An LFSR with a polynomial bank selected by the input register.
+
+    The low bits of ``sigma`` index the bank, mirroring the
+    multiple-polynomial reseeding scheme of [3]: each triplet carries its
+    polynomial choice alongside the seed.
+    """
+
+    def __init__(
+        self, width: int, polynomials: list[tuple[int, ...]] | None = None
+    ) -> None:
+        super().__init__(width)
+        self.polynomials = (
+            [tuple(p) for p in polynomials]
+            if polynomials is not None
+            else default_polynomials(width)
+        )
+        if not self.polynomials:
+            raise ValueError("polynomial bank must be non-empty")
+        for taps in self.polynomials:
+            if not taps or any(not 0 <= t < width for t in taps):
+                raise ValueError(f"invalid tap set {taps} for width {width}")
+
+    @property
+    def name(self) -> str:
+        return "mp-lfsr"
+
+    def polynomial_for(self, sigma: BitVector) -> tuple[int, ...]:
+        """The tap set ``sigma`` selects."""
+        return self.polynomials[sigma.value % len(self.polynomials)]
+
+    def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
+        feedback = 0
+        for tap in self.polynomial_for(sigma):
+            feedback ^= state.bit(tap)
+        shifted = (state.value << 1) | feedback
+        return BitVector(shifted, self.width)
+
+    def suggest_sigma(self, rng) -> BitVector:
+        return BitVector(rng.randrange(len(self.polynomials)), self.width)

@@ -1,0 +1,37 @@
+"""Name-based TPG construction for experiment drivers and examples."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.tpg.accumulator import (
+    AdderAccumulator,
+    MultiplierAccumulator,
+    SubtracterAccumulator,
+)
+from repro.tpg.base import TestPatternGenerator
+from repro.tpg.lfsr import Lfsr, MultiPolynomialLfsr
+
+TPG_REGISTRY: dict[str, Callable[[int], TestPatternGenerator]] = {
+    "adder": AdderAccumulator,
+    "subtracter": SubtracterAccumulator,
+    "multiplier": MultiplierAccumulator,
+    "lfsr": Lfsr,
+    "mp-lfsr": MultiPolynomialLfsr,
+}
+
+#: The three generators of the paper's Tables 1 and 2, in table order.
+PAPER_TPGS: tuple[str, ...] = ("adder", "multiplier", "subtracter")
+
+
+def tpg_names() -> list[str]:
+    """All registered TPG names."""
+    return list(TPG_REGISTRY)
+
+
+def make_tpg(name: str, width: int) -> TestPatternGenerator:
+    """Instantiate a registered TPG by name for a ``width``-bit UUT."""
+    factory = TPG_REGISTRY.get(name)
+    if factory is None:
+        raise KeyError(f"unknown TPG {name!r}; known: {', '.join(TPG_REGISTRY)}")
+    return factory(width)

@@ -1,0 +1,245 @@
+"""Fixed-width bit vectors and pattern packing helpers.
+
+The simulators in :mod:`repro.sim` operate on *packed* patterns: the
+values of one circuit node across 64 test patterns are stored in a single
+``numpy.uint64`` word, so a vectorised gate evaluation processes 64
+patterns at once.  This module provides
+
+* :class:`BitVector` — an immutable fixed-width bit vector used for test
+  patterns, TPG seeds and register values, and
+* :func:`pack_patterns` / :func:`unpack_words` — conversion between
+  per-pattern bit vectors and the word-parallel layout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class BitVector:
+    """An immutable bit vector of fixed ``width``.
+
+    Bit 0 is the least-significant bit.  Instances behave like small
+    unsigned integers that remember their width: arithmetic used by the
+    accumulator TPGs (``+``, ``-``, ``*``) wraps modulo ``2**width``.
+
+    >>> v = BitVector(0b1010, 4)
+    >>> v[1], v[0]
+    (1, 0)
+    >>> (v + BitVector(0b0110, 4)).value
+    0
+    """
+
+    __slots__ = ("_value", "_width")
+
+    def __init__(self, value: int, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        self._width = width
+        self._value = value & ((1 << width) - 1)
+
+    @property
+    def value(self) -> int:
+        """The integer value of the vector."""
+        return self._value
+
+    @property
+    def width(self) -> int:
+        """The number of bits in the vector."""
+        return self._width
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "BitVector":
+        """Build a vector from a bit sequence, ``bits[0]`` being bit 0."""
+        if not bits:
+            raise ValueError("bits must be non-empty")
+        value = 0
+        for position, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ValueError(f"bit {position} is {bit!r}, expected 0 or 1")
+            value |= bit << position
+        return cls(value, len(bits))
+
+    @classmethod
+    def from_string(cls, text: str) -> "BitVector":
+        """Parse a binary string, most-significant bit first.
+
+        >>> BitVector.from_string("1010").value
+        10
+        """
+        stripped = text.strip().replace("_", "")
+        if not stripped or any(c not in "01" for c in stripped):
+            raise ValueError(f"not a binary string: {text!r}")
+        return cls(int(stripped, 2), len(stripped))
+
+    @classmethod
+    def zeros(cls, width: int) -> "BitVector":
+        """The all-zero vector of the given width."""
+        return cls(0, width)
+
+    @classmethod
+    def ones(cls, width: int) -> "BitVector":
+        """The all-one vector of the given width."""
+        return cls((1 << width) - 1, width)
+
+    @classmethod
+    def random(cls, width: int, rng) -> "BitVector":
+        """A uniformly random vector drawn from ``rng`` (an RngStream or
+        :class:`random.Random`-compatible object)."""
+        return cls(rng.getrandbits(width), width)
+
+    def bit(self, index: int) -> int:
+        """The bit at ``index`` (0 = LSB)."""
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit index {index} out of range for width {self._width}")
+        return (self._value >> index) & 1
+
+    def __getitem__(self, index: int) -> int:
+        return self.bit(index)
+
+    def bits(self) -> list[int]:
+        """All bits as a list, index 0 first (LSB first)."""
+        return [(self._value >> i) & 1 for i in range(self._width)]
+
+    def set_bit(self, index: int, bit: int) -> "BitVector":
+        """A copy with bit ``index`` set to ``bit``."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit index {index} out of range for width {self._width}")
+        if bit:
+            return BitVector(self._value | (1 << index), self._width)
+        return BitVector(self._value & ~(1 << index), self._width)
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return self._value.bit_count()
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """Concatenate: ``self`` occupies the low bits of the result."""
+        return BitVector(
+            self._value | (other._value << self._width), self._width + other._width
+        )
+
+    def slice(self, low: int, width: int) -> "BitVector":
+        """Extract ``width`` bits starting at bit ``low``."""
+        if low < 0 or width <= 0 or low + width > self._width:
+            raise ValueError(
+                f"slice [{low}:{low + width}) out of range for width {self._width}"
+            )
+        return BitVector((self._value >> low) & ((1 << width) - 1), width)
+
+    def resized(self, width: int) -> "BitVector":
+        """Zero-extend or truncate to ``width`` bits."""
+        return BitVector(self._value, width)
+
+    def _check_width(self, other: "BitVector") -> None:
+        if self._width != other._width:
+            raise ValueError(f"width mismatch: {self._width} vs {other._width}")
+
+    def __add__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value + other._value, self._width)
+
+    def __sub__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector((self._value - other._value) % (1 << self._width), self._width)
+
+    def __mul__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value * other._value, self._width)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value & other._value, self._width)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value | other._value, self._width)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._value ^ other._value, self._width)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(~self._value & ((1 << self._width) - 1), self._width)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._value == other._value and self._width == other._width
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._width))
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.bits())
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"BitVector(0b{self.to_string()}, width={self._width})"
+
+    def to_string(self) -> str:
+        """Binary string, most-significant bit first."""
+        return format(self._value, f"0{self._width}b")
+
+
+def pack_patterns(patterns: Sequence[BitVector], width: int) -> np.ndarray:
+    """Pack per-pattern bit vectors into word-parallel node words.
+
+    Returns an array of shape ``(width, n_words)`` with dtype ``uint64``:
+    ``result[b, w]`` holds bit ``b`` of patterns ``64*w .. 64*w+63`` (one
+    pattern per word bit, pattern ``64*w`` in bit 0 of the word).
+
+    Patterns narrower or wider than ``width`` are rejected.
+    """
+    if not patterns:
+        return np.zeros((width, 0), dtype=np.uint64)
+    n_words = (len(patterns) + WORD_BITS - 1) // WORD_BITS
+    out = np.zeros((width, n_words), dtype=np.uint64)
+    for index, pattern in enumerate(patterns):
+        if pattern.width != width:
+            raise ValueError(
+                f"pattern {index} has width {pattern.width}, expected {width}"
+            )
+        word, bit = divmod(index, WORD_BITS)
+        value = pattern.value
+        for input_bit in range(width):
+            if (value >> input_bit) & 1:
+                out[input_bit, word] |= np.uint64(1 << bit)
+    return out
+
+
+def unpack_words(words: np.ndarray, n_patterns: int) -> list[BitVector]:
+    """Inverse of :func:`pack_patterns`.
+
+    ``words`` has shape ``(width, n_words)``; the result is ``n_patterns``
+    bit vectors of width ``words.shape[0]``.
+    """
+    width = words.shape[0]
+    patterns: list[BitVector] = []
+    for index in range(n_patterns):
+        word, bit = divmod(index, WORD_BITS)
+        value = 0
+        for input_bit in range(width):
+            if (int(words[input_bit, word]) >> bit) & 1:
+                value |= 1 << input_bit
+        patterns.append(BitVector(value, width))
+    return patterns
+
+
+def ints_to_bitvectors(values: Iterable[int], width: int) -> list[BitVector]:
+    """Convenience: wrap integers as width-``width`` bit vectors."""
+    return [BitVector(v, width) for v in values]

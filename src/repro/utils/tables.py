@@ -1,0 +1,119 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The experiment drivers (:mod:`repro.experiments`) print the same rows
+the paper's tables report; this module renders them legibly without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class AsciiTable:
+    """Accumulate rows, then render an aligned ASCII table.
+
+    >>> t = AsciiTable(["circuit", "#triplets"])
+    >>> t.add_row(["c880", 5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    +---------+-----------+
+    | circuit | #triplets |
+    +---------+-----------+
+    | c880    |         5 |
+    +---------+-----------+
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self._rows: list[list[str]] = []
+        self._numeric: list[bool] = [True] * len(self.headers)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; length must match the headers."""
+        cells = ["" if cell is None else _format_cell(cell) for cell in row]
+        raw = list(row)
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        for index, cell in enumerate(raw):
+            if cell is not None and not isinstance(cell, (int, float)):
+                self._numeric[index] = False
+        self._rows.append(cells)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        """The formatted rows added so far."""
+        return [list(r) for r in self._rows]
+
+    def render(self) -> str:
+        """The table as a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(separator)
+        lines.append(
+            "| " + " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)) + " |"
+        )
+        lines.append(separator)
+        for row in self._rows:
+            cells = []
+            for index, (cell, width) in enumerate(zip(row, widths)):
+                if self._numeric[index]:
+                    cells.append(cell.rjust(width))
+                else:
+                    cells.append(cell.ljust(width))
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def render_csv(self) -> str:
+        """The table as comma-separated values (headers first)."""
+        lines = [",".join(self.headers)]
+        lines.extend(",".join(row) for row in self._rows)
+        return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str,
+    y_label: str,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render an (x, y) series as a crude ASCII scatter plot.
+
+    Used by the Figure-2 driver to show the reseedings-vs-test-length
+    trade-off curve in the terminal.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not xs:
+        return "(empty series)"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{y_label} (top={y_max:g}, bottom={y_min:g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Shared fixtures: small reference circuits and deterministic RNG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuits import load_circuit
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    """A fresh deterministic stream per test."""
+    return RngStream(12345, "tests")
+
+
+@pytest.fixture
+def c17() -> Circuit:
+    """The genuine c17 benchmark (5 PI, 2 PO, 6 NAND)."""
+    return load_circuit("c17")
+
+
+@pytest.fixture
+def s27_scan() -> Circuit:
+    """The genuine s27 benchmark in its full-scan view."""
+    return load_circuit("s27")
+
+
+@pytest.fixture
+def tiny_and() -> Circuit:
+    """y = a AND b — the smallest useful circuit."""
+    return Circuit("tiny_and", ["a", "b"], ["y"], [Gate("y", GateType.AND, ("a", "b"))])
+
+
+@pytest.fixture
+def mux_circuit() -> Circuit:
+    """A 2:1 mux: y = (a AND NOT s) OR (b AND s); exercises fanout + inversion."""
+    return Circuit(
+        "mux",
+        ["a", "b", "s"],
+        ["y"],
+        [
+            Gate("ns", GateType.NOT, ("s",)),
+            Gate("t0", GateType.AND, ("a", "ns")),
+            Gate("t1", GateType.AND, ("b", "s")),
+            Gate("y", GateType.OR, ("t0", "t1")),
+        ],
+    )
+
+
+@pytest.fixture
+def xor_tree() -> Circuit:
+    """A 4-input XOR tree; every stuck-at fault is detectable."""
+    return Circuit(
+        "xor4",
+        ["a", "b", "c", "d"],
+        ["y"],
+        [
+            Gate("x0", GateType.XOR, ("a", "b")),
+            Gate("x1", GateType.XOR, ("c", "d")),
+            Gate("y", GateType.XOR, ("x0", "x1")),
+        ],
+    )
+
+
+@pytest.fixture
+def redundant_circuit() -> Circuit:
+    """y = a OR (a AND b): the AND gate is redundant, so several of its
+    faults are untestable — exercises redundancy identification."""
+    return Circuit(
+        "redundant",
+        ["a", "b"],
+        ["y"],
+        [
+            Gate("t", GateType.AND, ("a", "b")),
+            Gate("y", GateType.OR, ("a", "t")),
+        ],
+    )

@@ -1,0 +1,105 @@
+"""Tests for the random phase and static compaction."""
+
+from __future__ import annotations
+
+from repro.atpg.compaction import reverse_order_compaction
+from repro.atpg.random_gen import random_phase
+from repro.circuits import load_circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import full_fault_list
+from repro.sim.fault import FaultSimulator
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+
+class TestRandomPhase:
+    def test_kept_patterns_all_useful(self, c17, rng):
+        faults = full_fault_list(c17)
+        result = random_phase(c17, faults, rng.child("rp"))
+        # every kept pattern is credited with >= 1 first detection
+        assert set(result.detected) == set(range(len(result.patterns)))
+        for faults_detected in result.detected.values():
+            assert faults_detected
+
+    def test_no_fault_detected_twice(self, c17, rng):
+        faults = full_fault_list(c17)
+        result = random_phase(c17, faults, rng.child("rp"))
+        credited = result.detected_faults
+        assert len(credited) == len(set(credited))
+
+    def test_detected_plus_remaining_is_universe(self, c17, rng):
+        faults = full_fault_list(c17)
+        result = random_phase(c17, faults, rng.child("rp"))
+        assert set(result.detected_faults) | set(result.remaining) == set(faults)
+        assert not set(result.detected_faults) & set(result.remaining)
+
+    def test_c17_fully_covered_by_random(self, c17, rng):
+        # c17 is easily random-testable
+        result = random_phase(c17, full_fault_list(c17), rng.child("rp"))
+        assert not result.remaining
+
+    def test_max_patterns_budget_respected(self, rng):
+        circuit = load_circuit("c432")
+        faults = collapse_faults(circuit)
+        result = random_phase(
+            circuit, faults, rng.child("rp"), block_size=16, max_patterns=32
+        )
+        assert len(result.patterns) <= 32
+
+    def test_deterministic_given_stream(self, c17):
+        faults = full_fault_list(c17)
+        a = random_phase(c17, faults, RngStream(5, "same"))
+        b = random_phase(c17, faults, RngStream(5, "same"))
+        assert a.patterns == b.patterns
+
+    def test_empty_fault_list(self, c17, rng):
+        result = random_phase(c17, [], rng.child("rp"))
+        assert result.patterns == []
+        assert result.remaining == []
+
+
+class TestCompaction:
+    def test_coverage_preserved(self, c17, rng):
+        faults = full_fault_list(c17)
+        simulator = FaultSimulator(c17)
+        patterns = [BitVector.random(5, rng) for _ in range(60)]
+        compacted = reverse_order_compaction(c17, patterns, faults, simulator)
+        before = set(
+            f for f, hit in zip(faults, simulator.detected(patterns, faults)) if hit
+        )
+        after = set(
+            f for f, hit in zip(faults, simulator.detected(compacted, faults)) if hit
+        )
+        assert before == after
+
+    def test_never_longer(self, c17, rng):
+        faults = full_fault_list(c17)
+        patterns = [BitVector.random(5, rng) for _ in range(60)]
+        compacted = reverse_order_compaction(c17, patterns, faults)
+        assert len(compacted) <= len(patterns)
+
+    def test_duplicates_removed(self, c17):
+        faults = full_fault_list(c17)
+        pattern = BitVector.ones(5)
+        compacted = reverse_order_compaction(c17, [pattern] * 10, faults)
+        assert len(compacted) == 1
+
+    def test_relative_order_preserved(self, c17, rng):
+        faults = full_fault_list(c17)
+        patterns = [BitVector.random(5, rng) for _ in range(40)]
+        compacted = reverse_order_compaction(c17, patterns, faults)
+        # compacted must be a subsequence of the original list
+        iterator = iter(patterns)
+        assert all(p in iterator for p in compacted)
+
+    def test_empty_input(self, c17):
+        assert reverse_order_compaction(c17, [], full_fault_list(c17)) == []
+
+    def test_useless_patterns_dropped(self, tiny_and):
+        from repro.faults.model import Fault
+
+        faults = [Fault.stem("y", 0)]
+        useless = BitVector.from_bits([0, 0])
+        useful = BitVector.from_bits([1, 1])
+        compacted = reverse_order_compaction(tiny_and, [useless, useful], faults)
+        assert compacted == [useful]

@@ -1,0 +1,77 @@
+"""Tests for the five-valued D-algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg.values import D, DBAR, ONE, X, ZERO, Value, eval_gate_value
+from repro.circuit.gates import GateType
+
+
+class TestValueBasics:
+    def test_constants(self):
+        assert ZERO.is_known and not ZERO.is_d_or_dbar
+        assert ONE.is_known and not ONE.is_d_or_dbar
+        assert D.is_d_or_dbar and DBAR.is_d_or_dbar
+        assert not X.is_known
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            Value(3, 0)
+
+    def test_str(self):
+        assert str(D) == "D"
+        assert str(DBAR) == "D'"
+        assert str(ZERO) == "0"
+
+    def test_good_known(self):
+        assert D.good_known
+        assert not X.good_known
+        assert Value(1, 2).good_known
+
+
+class TestDAlgebra:
+    def test_and_with_d(self):
+        assert eval_gate_value(GateType.AND, [D, ONE]) == D
+        assert eval_gate_value(GateType.AND, [D, ZERO]) == ZERO
+        assert eval_gate_value(GateType.AND, [D, DBAR]) == ZERO
+
+    def test_and_with_x(self):
+        # AND(D, X): good = X, faulty = 0
+        assert eval_gate_value(GateType.AND, [D, X]) == Value(2, 0)
+
+    def test_or_with_d(self):
+        assert eval_gate_value(GateType.OR, [D, ZERO]) == D
+        assert eval_gate_value(GateType.OR, [D, ONE]) == ONE
+        assert eval_gate_value(GateType.OR, [D, DBAR]) == ONE
+
+    def test_not_flips_d(self):
+        assert eval_gate_value(GateType.NOT, [D]) == DBAR
+        assert eval_gate_value(GateType.NOT, [DBAR]) == D
+
+    def test_nand_nor(self):
+        assert eval_gate_value(GateType.NAND, [D, ONE]) == DBAR
+        assert eval_gate_value(GateType.NOR, [D, ZERO]) == DBAR
+
+    def test_xor_propagates_d(self):
+        assert eval_gate_value(GateType.XOR, [D, ZERO]) == D
+        assert eval_gate_value(GateType.XOR, [D, ONE]) == DBAR
+        assert eval_gate_value(GateType.XOR, [D, D]) == ZERO
+        assert eval_gate_value(GateType.XOR, [D, DBAR]) == ONE
+
+    def test_xnor(self):
+        assert eval_gate_value(GateType.XNOR, [D, ZERO]) == DBAR
+
+    def test_xor_with_x_is_x(self):
+        assert eval_gate_value(GateType.XOR, [D, X]) == X
+
+    def test_buf_identity(self):
+        assert eval_gate_value(GateType.BUF, [D]) == D
+
+    def test_constants_eval(self):
+        assert eval_gate_value(GateType.CONST0, []) == ZERO
+        assert eval_gate_value(GateType.CONST1, []) == ONE
+
+    def test_sources_rejected(self):
+        with pytest.raises(ValueError):
+            eval_gate_value(GateType.INPUT, [])

@@ -1,0 +1,92 @@
+"""Tests for .bench parsing and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.bench import BenchParseError, parse_bench, write_bench
+from repro.circuit.gates import GateType
+from repro.circuits.data import C17_BENCH, S27_BENCH
+
+
+class TestParse:
+    def test_c17_structure(self):
+        circuit = parse_bench(C17_BENCH, "c17")
+        assert circuit.n_inputs == 5
+        assert circuit.n_outputs == 2
+        assert circuit.n_gates == 6
+        assert all(g.gtype is GateType.NAND for g in circuit.gates.values())
+
+    def test_s27_is_sequential(self):
+        circuit = parse_bench(S27_BENCH, "s27")
+        assert circuit.is_sequential()
+        n_dffs = sum(1 for g in circuit.gates.values() if g.gtype is GateType.DFF)
+        assert n_dffs == 3
+
+    def test_comments_and_blank_lines_ignored(self):
+        circuit = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # inline\n")
+        assert circuit.n_gates == 1
+
+    def test_buff_alias(self):
+        circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert circuit.gates["y"].gtype is GateType.BUF
+
+    def test_case_insensitive_keyword(self):
+        circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n")
+        assert circuit.gates["y"].gtype is GateType.NAND
+
+    def test_unknown_gate_keyword(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_unrecognised_line(self):
+        with pytest.raises(BenchParseError, match="unrecognised"):
+            parse_bench("INPUT(a)\nwhatever\n")
+
+    def test_undriven_fanin_rejected(self):
+        with pytest.raises(ValueError, match="undriven"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(ValueError, match="not driven"):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench("INPUT(a)\n???\n")
+        assert excinfo.value.line_no == 2
+
+    def test_not_arity_error_reported(self):
+        with pytest.raises(BenchParseError, match="takes"):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n")
+
+
+class TestWrite:
+    def test_roundtrip_c17(self):
+        original = parse_bench(C17_BENCH, "c17")
+        reparsed = parse_bench(write_bench(original), "c17")
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert set(reparsed.gates) == set(original.gates)
+        for name, gate in original.gates.items():
+            assert reparsed.gates[name].gtype is gate.gtype
+            assert reparsed.gates[name].fanins == gate.fanins
+
+    def test_roundtrip_sequential(self):
+        original = parse_bench(S27_BENCH, "s27")
+        reparsed = parse_bench(write_bench(original), "s27")
+        assert reparsed.is_sequential()
+        assert set(reparsed.gates) == set(original.gates)
+
+    def test_written_gates_in_topo_order(self):
+        original = parse_bench(C17_BENCH, "c17")
+        text = write_bench(original)
+        seen: set[str] = set(original.inputs)
+        for line in text.splitlines():
+            if "=" not in line:
+                continue
+            out, rhs = line.split("=", 1)
+            fanins = rhs[rhs.index("(") + 1 : rhs.index(")")].split(",")
+            for net in (f.strip() for f in fanins):
+                assert net in seen, f"{net} used before defined"
+            seen.add(out.strip())

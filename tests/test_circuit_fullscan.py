@@ -1,0 +1,63 @@
+"""Tests for the full-scan transformation."""
+
+from __future__ import annotations
+
+from repro.circuit.bench import parse_bench
+from repro.circuit.fullscan import PPO_SUFFIX, full_scan_view, scan_chain_length
+from repro.circuit.gates import GateType
+from repro.circuits.data import S27_BENCH
+
+
+def _s27():
+    return parse_bench(S27_BENCH, "s27")
+
+
+class TestFullScan:
+    def test_result_is_combinational(self):
+        assert not full_scan_view(_s27()).is_sequential()
+
+    def test_dff_outputs_become_inputs(self):
+        scan = full_scan_view(_s27())
+        for ff in ("G5", "G6", "G7"):
+            assert ff in scan.inputs
+
+    def test_dff_data_nets_become_outputs(self):
+        scan = full_scan_view(_s27())
+        ppos = [o for o in scan.outputs if o.endswith(PPO_SUFFIX)]
+        assert len(ppos) == 3
+        # each PPO buffers the DFF's data net
+        for ppo in ppos:
+            gate = scan.gates[ppo]
+            assert gate.gtype is GateType.BUF
+
+    def test_original_po_preserved(self):
+        scan = full_scan_view(_s27())
+        assert "G17" in scan.outputs
+
+    def test_io_counts(self):
+        scan = full_scan_view(_s27())
+        assert scan.n_inputs == 4 + 3
+        assert scan.n_outputs == 1 + 3
+
+    def test_combinational_input_passthrough(self, c17):
+        # combinational circuits come back as a copy
+        view = full_scan_view(c17)
+        assert view.n_inputs == c17.n_inputs
+        assert view.n_gates == c17.n_gates
+
+    def test_scan_name_default(self):
+        assert full_scan_view(_s27()).name == "s27_scan"
+        assert full_scan_view(_s27(), name="s27").name == "s27"
+
+    def test_scan_chain_length(self, c17):
+        assert scan_chain_length(_s27()) == 3
+        assert scan_chain_length(c17) == 0
+
+    def test_combinational_logic_preserved(self):
+        original = _s27()
+        scan = full_scan_view(original)
+        for name, gate in original.gates.items():
+            if gate.gtype is GateType.DFF:
+                continue
+            assert scan.gates[name].gtype is gate.gtype
+            assert scan.gates[name].fanins == gate.fanins

@@ -1,0 +1,105 @@
+"""Tests for gate evaluation semantics (scalar and packed)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import (
+    GateType,
+    controlling_value,
+    eval_gate_bool,
+    eval_gate_words,
+    inversion_parity,
+)
+
+_TRUTH_2IN = {
+    GateType.AND: lambda a, b: a & b,
+    GateType.NAND: lambda a, b: 1 - (a & b),
+    GateType.OR: lambda a, b: a | b,
+    GateType.NOR: lambda a, b: 1 - (a | b),
+    GateType.XOR: lambda a, b: a ^ b,
+    GateType.XNOR: lambda a, b: 1 - (a ^ b),
+}
+
+
+class TestScalarEval:
+    @pytest.mark.parametrize("gtype", list(_TRUTH_2IN))
+    def test_two_input_truth_tables(self, gtype):
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert eval_gate_bool(gtype, [a, b]) == _TRUTH_2IN[gtype](a, b)
+
+    def test_not_and_buf(self):
+        assert eval_gate_bool(GateType.NOT, [0]) == 1
+        assert eval_gate_bool(GateType.NOT, [1]) == 0
+        assert eval_gate_bool(GateType.BUF, [1]) == 1
+
+    def test_constants(self):
+        assert eval_gate_bool(GateType.CONST0, []) == 0
+        assert eval_gate_bool(GateType.CONST1, []) == 1
+
+    def test_wide_gates(self):
+        assert eval_gate_bool(GateType.AND, [1, 1, 1, 1]) == 1
+        assert eval_gate_bool(GateType.AND, [1, 1, 0, 1]) == 0
+        assert eval_gate_bool(GateType.XOR, [1, 1, 1]) == 1
+
+    def test_input_not_evaluable(self):
+        with pytest.raises(ValueError):
+            eval_gate_bool(GateType.INPUT, [])
+
+    def test_dff_not_evaluable(self):
+        with pytest.raises(ValueError):
+            eval_gate_bool(GateType.DFF, [0])
+
+
+class TestPackedEval:
+    @pytest.mark.parametrize("gtype", list(_TRUTH_2IN) + [GateType.NOT, GateType.BUF])
+    def test_packed_matches_scalar(self, gtype, rng):
+        n_fanin = 1 if gtype in (GateType.NOT, GateType.BUF) else 3
+        words = [
+            np.array([rng.getrandbits(64)], dtype=np.uint64) for _ in range(n_fanin)
+        ]
+        packed = eval_gate_words(gtype, words)
+        for bit in range(64):
+            scalar_fanins = [int(w[0]) >> bit & 1 for w in words]
+            expected = eval_gate_bool(gtype, scalar_fanins)
+            assert (int(packed[0]) >> bit & 1) == expected, f"{gtype} bit {bit}"
+
+    def test_packed_buf_copies(self):
+        word = np.array([7], dtype=np.uint64)
+        out = eval_gate_words(GateType.BUF, [word])
+        out[0] = 0
+        assert int(word[0]) == 7
+
+    def test_packed_constants_rejected(self):
+        with pytest.raises(ValueError):
+            eval_gate_words(GateType.CONST0, [])
+
+
+class TestGateMetadata:
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+        assert controlling_value(GateType.XOR) is None
+
+    def test_inversion_parity(self):
+        assert inversion_parity(GateType.NAND) == 1
+        assert inversion_parity(GateType.NOR) == 1
+        assert inversion_parity(GateType.NOT) == 1
+        assert inversion_parity(GateType.XNOR) == 1
+        assert inversion_parity(GateType.AND) == 0
+        assert inversion_parity(GateType.BUF) == 0
+
+    def test_fanin_ranges(self):
+        assert GateType.NOT.max_fanin == 1
+        assert GateType.AND.max_fanin is None
+        assert GateType.INPUT.min_fanin == 0
+
+    def test_is_source(self):
+        assert GateType.INPUT.is_source
+        assert GateType.CONST1.is_source
+        assert not GateType.AND.is_source

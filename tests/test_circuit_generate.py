@@ -1,0 +1,103 @@
+"""Tests for the synthetic circuit generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.generate import GeneratorSpec, generate_circuit
+from repro.circuit.validate import validate_circuit
+
+
+class TestSpecValidation:
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 0, 1, 10)
+
+    def test_rejects_zero_outputs(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 3, 0, 10)
+
+    def test_rejects_fewer_gates_than_outputs(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 3, 5, 4)
+
+    def test_rejects_tiny_max_fanin(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 3, 1, 10, max_fanin=1)
+
+
+class TestGeneration:
+    def test_exact_counts(self):
+        spec = GeneratorSpec("x", 10, 4, 50)
+        circuit = generate_circuit(spec)
+        assert circuit.n_inputs == 10
+        assert circuit.n_outputs == 4
+        assert circuit.n_gates == 50
+
+    def test_sequential_counts(self):
+        spec = GeneratorSpec("x", 10, 4, 50, n_dffs=6)
+        circuit = generate_circuit(spec)
+        assert circuit.is_sequential()
+        assert circuit.n_gates == 56  # 50 logic + 6 DFF
+
+    def test_deterministic(self):
+        spec = GeneratorSpec("x", 10, 4, 50, seed=3)
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert list(a.gates) == list(b.gates)
+        for name in a.gates:
+            assert a.gates[name].fanins == b.gates[name].fanins
+            assert a.gates[name].gtype is b.gates[name].gtype
+
+    def test_name_changes_structure(self):
+        a = generate_circuit(GeneratorSpec("x", 10, 4, 50, seed=3))
+        b = generate_circuit(GeneratorSpec("y", 10, 4, 50, seed=3))
+        fanins_a = [a.gates[n].fanins for n in sorted(a.gates)]
+        fanins_b = [b.gates[n].fanins for n in sorted(b.gates)]
+        assert fanins_a != fanins_b
+
+    def test_seed_changes_structure(self):
+        a = generate_circuit(GeneratorSpec("x", 10, 4, 50, seed=3))
+        b = generate_circuit(GeneratorSpec("x", 10, 4, 50, seed=4))
+        fanins_a = [a.gates[n].fanins for n in sorted(a.gates)]
+        fanins_b = [b.gates[n].fanins for n in sorted(b.gates)]
+        assert fanins_a != fanins_b
+
+    def test_no_dangling_nets(self):
+        circuit = generate_circuit(GeneratorSpec("x", 8, 3, 40))
+        validate_circuit(circuit, allow_dangling=False)  # raises on dangling
+
+    def test_every_input_used(self):
+        circuit = generate_circuit(GeneratorSpec("x", 20, 2, 30))
+        for net in circuit.inputs:
+            assert circuit.fanouts(net), f"input {net} unused"
+
+    def test_acyclic(self):
+        circuit = generate_circuit(GeneratorSpec("x", 8, 3, 60))
+        circuit.topo_order()  # raises on cycles
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_inputs=st.integers(min_value=2, max_value=30),
+        n_outputs=st.integers(min_value=1, max_value=8),
+        extra_gates=st.integers(min_value=3, max_value=80),
+        n_dffs=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_generated_circuits_always_wellformed(
+        self, n_inputs, n_outputs, extra_gates, n_dffs, seed
+    ):
+        spec = GeneratorSpec(
+            "h", n_inputs, n_outputs, n_outputs + extra_gates, n_dffs=n_dffs, seed=seed
+        )
+        circuit = generate_circuit(spec)
+        validate_circuit(
+            circuit,
+            require_combinational=(n_dffs == 0),
+            allow_dangling=False,
+        )
+        assert circuit.n_inputs == n_inputs
+        assert circuit.n_outputs == n_outputs
+        assert circuit.n_gates == n_outputs + extra_gates + n_dffs

@@ -1,0 +1,76 @@
+"""Tests for structural circuit validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.validate import CircuitError, validate_circuit
+
+
+def _circuit(inputs, outputs, gates, name="v"):
+    return Circuit(name, inputs, outputs, gates)
+
+
+class TestValidate:
+    def test_valid_circuit_passes(self, mux_circuit):
+        validate_circuit(mux_circuit)
+
+    def test_sequential_rejected_when_combinational_required(self):
+        circuit = _circuit(
+            ["a"], ["q"], [Gate("q", GateType.DFF, ("a",))]
+        )
+        with pytest.raises(CircuitError, match="DFF"):
+            validate_circuit(circuit, require_combinational=True)
+        validate_circuit(circuit, require_combinational=False)
+
+    def test_dangling_net_detected(self):
+        circuit = _circuit(
+            ["a", "b"],
+            ["y"],
+            [
+                Gate("y", GateType.BUF, ("a",)),
+                Gate("dead", GateType.NOT, ("b",)),
+            ],
+        )
+        with pytest.raises(CircuitError, match="drives nothing"):
+            validate_circuit(circuit)
+        validate_circuit(circuit, allow_dangling=True)
+
+    def test_unused_input_detected(self):
+        circuit = _circuit(
+            ["a", "b"], ["y"], [Gate("y", GateType.BUF, ("a",))]
+        )
+        with pytest.raises(CircuitError, match="drives nothing"):
+            validate_circuit(circuit)
+
+    def test_cycle_detected(self):
+        circuit = _circuit(
+            ["a"],
+            ["x"],
+            [
+                Gate("x", GateType.AND, ("a", "z")),
+                Gate("z", GateType.BUF, ("x",)),
+            ],
+        )
+        with pytest.raises(CircuitError, match="cycle"):
+            validate_circuit(circuit)
+
+    def test_duplicate_outputs_detected(self):
+        circuit = _circuit(["a"], ["y", "y"], [Gate("y", GateType.BUF, ("a",))])
+        with pytest.raises(CircuitError, match="duplicate output"):
+            validate_circuit(circuit)
+
+    def test_error_lists_problems(self):
+        circuit = _circuit(
+            ["a", "b", "c"], ["y"], [Gate("y", GateType.BUF, ("a",))]
+        )
+        with pytest.raises(CircuitError) as excinfo:
+            validate_circuit(circuit)
+        assert len(excinfo.value.problems) == 2  # b and c dangling
+
+    def test_output_can_be_an_input_net(self):
+        # An output directly naming a PI is unusual but legal.
+        circuit = _circuit(["a"], ["a", "y"], [Gate("y", GateType.NOT, ("a",))])
+        validate_circuit(circuit)

@@ -1,0 +1,97 @@
+"""Tests for the benchmark circuit catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    CATALOG,
+    PAPER_CIRCUITS,
+    CatalogEntry,
+    catalog_names,
+    load_circuit,
+)
+
+
+class TestCatalogContents:
+    def test_paper_circuits_all_in_catalog(self):
+        for name in PAPER_CIRCUITS:
+            assert name in CATALOG
+
+    def test_embedded_entries_flagged(self):
+        assert CATALOG["c17"].embedded
+        assert CATALOG["s27"].embedded
+        assert not CATALOG["c880"].embedded
+
+    def test_sequential_classification(self):
+        assert CATALOG["s1238"].is_sequential
+        assert not CATALOG["c880"].is_sequential
+
+    def test_scan_inputs(self):
+        entry = CATALOG["s1238"]
+        assert entry.scan_inputs == entry.n_inputs + entry.n_dffs
+
+    def test_catalog_names_cover_both_suites(self):
+        names = catalog_names()
+        assert any(n.startswith("c") for n in names)
+        assert any(n.startswith("s") for n in names)
+
+
+class TestLoadCircuit:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown circuit"):
+            load_circuit("c9999")
+
+    def test_embedded_c17_exact(self):
+        circuit = load_circuit("c17")
+        assert circuit.n_inputs == 5
+        assert circuit.n_outputs == 2
+        assert circuit.n_gates == 6
+
+    def test_synthetic_matches_real_sizes(self):
+        entry = CATALOG["c880"]
+        circuit = load_circuit("c880")
+        assert circuit.n_inputs == entry.n_inputs
+        assert circuit.n_outputs == entry.n_outputs
+        assert circuit.n_gates == entry.n_gates
+
+    def test_sequential_loaded_as_full_scan_by_default(self):
+        circuit = load_circuit("s1238")
+        assert not circuit.is_sequential()
+        entry = CATALOG["s1238"]
+        assert circuit.n_inputs == entry.scan_inputs
+
+    def test_sequential_raw_view(self):
+        circuit = load_circuit("s27", full_scan=False)
+        assert circuit.is_sequential()
+
+    def test_scale_reduces_size(self):
+        full = load_circuit("s5378")
+        small = load_circuit("s5378", scale=0.1)
+        assert small.n_gates < full.n_gates
+        assert small.n_inputs <= full.n_inputs
+
+    def test_scale_ignored_for_embedded(self):
+        assert load_circuit("c17", scale=0.01).n_gates == 6
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            load_circuit("c880", scale=0)
+
+    def test_deterministic_across_loads(self):
+        a = load_circuit("c1355")
+        b = load_circuit("c1355")
+        assert list(a.gates) == list(b.gates)
+        for name in a.gates:
+            assert a.gates[name].fanins == b.gates[name].fanins
+
+    def test_entry_is_frozen(self):
+        with pytest.raises(AttributeError):
+            CATALOG["c17"].n_inputs = 99
+
+    def test_catalog_entry_sanity(self):
+        for entry in CATALOG.values():
+            assert isinstance(entry, CatalogEntry)
+            assert entry.n_inputs > 0
+            assert entry.n_outputs > 0
+            assert entry.n_gates > 0

@@ -1,0 +1,95 @@
+"""Tests for the CLI and the solution report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.flow.pipeline import PipelineConfig, ReseedingPipeline
+from repro.flow.report import solution_report
+from repro.circuits import load_circuit
+
+
+class TestCli:
+    def test_catalog_lists_circuits(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out
+        assert "s15850" in out
+        assert "embedded" in out and "synthetic" in out
+
+    def test_run_pipeline(self, capsys):
+        assert main(["run", "--circuit", "c17", "--evolution-length", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "#Triplets=" in out
+        assert "Reseeding solution" in out
+        assert "Covering statistics" in out
+
+    def test_run_uniform_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--circuit",
+                    "c17",
+                    "--evolution-length",
+                    "8",
+                    "--uniform",
+                ]
+            )
+            == 0
+        )
+        assert "uniform-T refinement" in capsys.readouterr().out
+
+    def test_atpg_command(self, capsys):
+        assert main(["atpg", "--circuit", "c17", "--patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "|TS|=" in out
+        # pattern lines are 5-bit binary strings
+        assert any(
+            len(line) == 5 and set(line) <= {"0", "1"}
+            for line in out.splitlines()
+        )
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_required_arg(self):
+        with pytest.raises(SystemExit):
+            main(["run"])  # --circuit is required
+
+    def test_parser_has_experiment_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for name in ("table1", "table2", "figure2"):
+            assert name in text
+
+
+class TestSolutionReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        circuit = load_circuit("c17")
+        return ReseedingPipeline(
+            circuit, "adder", PipelineConfig(evolution_length=8)
+        ).run()
+
+    def test_report_sections(self, result):
+        report = solution_report(result)
+        assert "per-triplet breakdown" in report
+        assert "Covering statistics" in report
+        assert "ATPG substrate" in report
+        assert "Stage timings" in report
+
+    def test_afc_sums_to_100(self, result):
+        report = solution_report(result)
+        assert "100.0" in report  # cumulative FC reaches 100%
+
+    def test_one_row_per_triplet(self, result):
+        report = solution_report(result)
+        data_rows = [
+            line
+            for line in report.splitlines()
+            if line.startswith("| ") and "delta" not in line
+        ]
+        assert len(data_rows) == result.n_triplets

@@ -1,0 +1,184 @@
+"""Tests for the experiment drivers (structure + invariants, tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    CircuitWorkspace,
+    ExperimentConfig,
+    config_from_args,
+    make_arg_parser,
+)
+from repro.experiments.figure2 import compute_figure2, render_figure2
+from repro.experiments.table1 import Table1Cell, compute_table1, render_table1
+from repro.experiments.table2 import compute_table2, render_table2
+
+TINY = ExperimentConfig(
+    circuits=("c17", "s27"),
+    scale=1.0,  # embedded circuits ignore scale anyway
+    seed=7,
+    evolution_length=8,
+    max_random_patterns=128,
+    run_gatsby=False,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_workspaces():
+    return {name: CircuitWorkspace.prepare(name, TINY) for name in TINY.circuits}
+
+
+class TestCommon:
+    def test_workspace_prepare(self, tiny_workspaces):
+        workspace = tiny_workspaces["c17"]
+        assert workspace.circuit.n_gates == 6
+        assert workspace.atpg.test_length > 0
+
+    def test_run_pipeline_reuses_atpg(self, tiny_workspaces):
+        workspace = tiny_workspaces["c17"]
+        result = workspace.run_pipeline("adder", TINY)
+        assert result.atpg is workspace.atpg
+        assert result.timings["atpg"] < 0.01
+
+    def test_gatsby_skipped_above_gate_limit(self, tiny_workspaces):
+        from repro.experiments import common
+
+        workspace = tiny_workspaces["c17"]
+        original = common.GATSBY_GATE_LIMIT
+        common.GATSBY_GATE_LIMIT = 1
+        try:
+            assert workspace.run_gatsby("adder", TINY) is None
+        finally:
+            common.GATSBY_GATE_LIMIT = original
+
+    def test_arg_parser_defaults(self):
+        parser = make_arg_parser("t")
+        config = config_from_args(parser.parse_args([]))
+        assert config.scale == 0.25
+        assert config.run_gatsby
+
+    def test_arg_parser_full_and_flags(self):
+        from repro.experiments.common import FULL_CIRCUITS
+
+        parser = make_arg_parser("t")
+        config = config_from_args(
+            parser.parse_args(["--full", "--no-gatsby", "--scale", "0.1"])
+        )
+        assert config.circuits == FULL_CIRCUITS
+        assert not config.run_gatsby
+        assert config.scale == 0.1
+
+    def test_arg_parser_explicit_circuits(self):
+        parser = make_arg_parser("t")
+        config = config_from_args(parser.parse_args(["--circuits", "c17", "s27"]))
+        assert config.circuits == ("c17", "s27")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self, tiny_workspaces):
+        return compute_table1(TINY, workspaces=tiny_workspaces)
+
+    def test_one_row_per_circuit(self, rows):
+        assert [row.circuit for row in rows] == list(TINY.circuits)
+
+    def test_all_tpgs_present(self, rows):
+        from repro.tpg.registry import PAPER_TPGS
+
+        for row in rows:
+            assert set(row.cells) == set(PAPER_TPGS)
+
+    def test_cells_within_bounds(self, rows, tiny_workspaces):
+        for row in rows:
+            atpg_length = tiny_workspaces[row.circuit].atpg.test_length
+            for cell in row.cells.values():
+                assert 1 <= cell.n_triplets <= atpg_length
+                assert cell.n_triplets <= cell.test_length
+
+    def test_gatsby_none_when_disabled(self, rows):
+        for row in rows:
+            for cell in row.cells.values():
+                assert cell.gatsby_triplets is None
+                assert cell.improvement is None
+                assert not cell.gatsby_complete
+
+    def test_render_contains_all_circuits(self, rows):
+        text = render_table1(rows).render()
+        for name in TINY.circuits:
+            assert name in text
+
+    def test_cell_improvement(self):
+        cell = Table1Cell(3, 50, 5, 80, 1.0)
+        assert cell.improvement == 2
+        assert cell.gatsby_complete
+        incomplete = Table1Cell(3, 50, 2, 30, 0.98)
+        assert not incomplete.gatsby_complete
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self, tiny_workspaces):
+        return compute_table2(TINY, workspaces=tiny_workspaces)
+
+    def test_initial_shape_matches_atpg(self, rows, tiny_workspaces):
+        for row in rows:
+            workspace = tiny_workspaces[row.circuit]
+            assert row.initial_shape == (
+                workspace.atpg.test_length,
+                len(workspace.atpg.target_faults),
+            )
+
+    def test_reduction_accounting(self, rows):
+        for row in rows:
+            for cell in row.cells.values():
+                if cell.closed_by_reduction:
+                    assert cell.n_solver == 0
+                reduced_rows, reduced_cols = cell.reduced_shape
+                assert reduced_rows <= row.initial_shape[0]
+                assert reduced_cols <= row.initial_shape[1]
+
+    def test_necessary_plus_solver_consistent_with_table1(
+        self, rows, tiny_workspaces
+    ):
+        table1 = compute_table1(TINY, workspaces=tiny_workspaces)
+        for row2, row1 in zip(rows, table1):
+            for tpg_name, cell2 in row2.cells.items():
+                cell1 = row1.cells[tpg_name]
+                assert cell2.n_necessary + cell2.n_solver == cell1.n_triplets
+
+    def test_render(self, rows):
+        text = render_table2(rows).render()
+        assert "initial matrix" in text
+        assert "necessary" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return compute_figure2(
+            circuit_name="c17",
+            tpg_name="adder",
+            lengths=(1, 4, 16),
+            scale=1.0,
+            seed=7,
+        )
+
+    def test_sweep_order(self, points):
+        assert [p.evolution_length for p in points] == [1, 4, 16]
+
+    def test_monotone_triplets(self, points):
+        counts = [p.n_triplets for p in points]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_t1_degenerates_to_atpg_selection(self, points):
+        """With T=1 each triplet is exactly one ATPG pattern (the paper's
+        tau='0' remark), so test length equals triplet count."""
+        first = points[0]
+        assert first.evolution_length == 1
+        assert first.test_length == first.n_triplets
+
+    def test_render(self, points):
+        text = render_figure2(points)
+        assert "Figure 2" in text
+        assert "#Triplets" in text

@@ -1,0 +1,75 @@
+"""Tests for the stuck-at fault model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import Fault, FaultSite, full_fault_list, output_stem_faults
+
+
+class TestFaultBasics:
+    def test_stuck_value_validated(self):
+        with pytest.raises(ValueError):
+            Fault.stem("a", 2)
+
+    def test_stem_constructor(self):
+        fault = Fault.stem("a", 1)
+        assert not fault.site.is_branch
+        assert str(fault) == "a/SA1"
+
+    def test_branch_constructor(self):
+        fault = Fault.branch("a", "g1", 0, 0)
+        assert fault.site.is_branch
+        assert str(fault) == "a->g1.0/SA0"
+
+    def test_faults_hashable_and_equal(self):
+        assert Fault.stem("a", 0) == Fault.stem("a", 0)
+        assert len({Fault.stem("a", 0), Fault.stem("a", 0)}) == 1
+
+    def test_ordering_total(self):
+        faults = [
+            Fault.branch("a", "g", 1, 0),
+            Fault.stem("a", 1),
+            Fault.stem("a", 0),
+            Fault.branch("a", "g", 0, 1),
+        ]
+        ordered = sorted(faults)
+        # stems sort before branches on the same net
+        assert ordered[0] == Fault.stem("a", 0)
+        assert ordered[1] == Fault.stem("a", 1)
+
+    def test_site_str(self):
+        assert str(FaultSite("n")) == "n"
+        assert str(FaultSite("n", "g", 2)) == "n->g.2"
+
+
+class TestFaultUniverse:
+    def test_c17_universe_size(self, c17):
+        # 11 nets * 2 stem faults; fanout stems 3, 11, 16 (2 readers each)
+        # contribute 2 branch pins * 2 values each.
+        faults = full_fault_list(c17)
+        stems = [f for f in faults if not f.site.is_branch]
+        branches = [f for f in faults if f.site.is_branch]
+        assert len(stems) == 22
+        assert len(branches) == 12
+        assert len(faults) == 34
+
+    def test_single_reader_nets_have_no_branch_faults(self, mux_circuit):
+        faults = full_fault_list(mux_circuit)
+        branch_nets = {f.site.net for f in faults if f.site.is_branch}
+        # only 's' has two readers in the mux
+        assert branch_nets == {"s"}
+
+    def test_universe_has_no_duplicates(self, c17):
+        faults = full_fault_list(c17)
+        assert len(faults) == len(set(faults))
+
+    def test_every_net_covered(self, mux_circuit):
+        faults = full_fault_list(mux_circuit)
+        stem_nets = {f.site.net for f in faults if not f.site.is_branch}
+        assert stem_nets == set(mux_circuit.nodes)
+
+    def test_output_stem_faults(self, c17):
+        faults = output_stem_faults(c17)
+        assert len(faults) == 4
+        assert {f.site.net for f in faults} == set(c17.outputs)

@@ -1,0 +1,134 @@
+"""Tests for the GA machinery and the GATSBY baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.atpg.engine import AtpgEngine
+from repro.gatsby import GaConfig, GatsbyReseeder, GeneticAlgorithm
+from repro.sim.fault import FaultSimulator
+from repro.tpg import AdderAccumulator
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+
+class TestGaConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaConfig(population_size=1)
+        with pytest.raises(ValueError):
+            GaConfig(tournament_size=99)
+        with pytest.raises(ValueError):
+            GaConfig(crossover_rate=1.5)
+        with pytest.raises(ValueError):
+            GaConfig(mutation_rate=-0.1)
+        with pytest.raises(ValueError):
+            GaConfig(elitism=16, population_size=16)
+        with pytest.raises(ValueError):
+            GaConfig(generations=0)
+
+
+class TestGeneticAlgorithm:
+    def _onemax(self, genome: BitVector) -> float:
+        return float(genome.popcount())
+
+    def test_maximises_onemax(self):
+        rng = RngStream(1, "ga-test")
+        ga = GeneticAlgorithm(
+            16,
+            self._onemax,
+            rng,
+            GaConfig(population_size=20, generations=25, mutation_rate=0.05),
+        )
+        best = ga.run()
+        assert best.fitness >= 13  # near-optimal on 16 bits
+
+    def test_deterministic_given_stream(self):
+        config = GaConfig(population_size=8, generations=5)
+        a = GeneticAlgorithm(8, self._onemax, RngStream(2, "d"), config).run()
+        b = GeneticAlgorithm(8, self._onemax, RngStream(2, "d"), config).run()
+        assert a.genome == b.genome
+        assert a.fitness == b.fitness
+
+    def test_seeds_preloaded(self):
+        # seeding with the optimum means the optimum is found immediately
+        config = GaConfig(population_size=8, generations=1)
+        ga = GeneticAlgorithm(8, self._onemax, RngStream(3, "s"), config)
+        best = ga.run(seeds=[BitVector.ones(8)])
+        assert best.fitness == 8.0
+
+    def test_evaluation_counter(self):
+        config = GaConfig(population_size=8, generations=3, elitism=2)
+        ga = GeneticAlgorithm(8, self._onemax, RngStream(4, "e"), config)
+        ga.run()
+        # 8 initial + 3 generations * 6 offspring
+        assert ga.evaluations == 8 + 3 * 6
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(0, self._onemax, RngStream(5, "w"))
+
+
+class TestGatsbyReseeder:
+    @pytest.fixture(scope="class")
+    def c17_setup(self):
+        circuit = load_circuit("c17")
+        engine = AtpgEngine(circuit, seed=5)
+        atpg = engine.run()
+        return circuit, atpg, engine.simulator
+
+    def _reseeder(self, circuit, simulator, **kwargs):
+        defaults = dict(
+            seed=5,
+            evolution_length=8,
+            ga_config=GaConfig(population_size=8, generations=4),
+            simulator=simulator,
+        )
+        defaults.update(kwargs)
+        return GatsbyReseeder(circuit, AdderAccumulator(circuit.n_inputs), **defaults)
+
+    def test_reaches_full_coverage_on_c17(self, c17_setup):
+        circuit, atpg, simulator = c17_setup
+        reseeder = self._reseeder(circuit, simulator)
+        result = reseeder.run(atpg.target_faults, seed_patterns=atpg.test_set)
+        assert result.fault_coverage == 1.0
+        assert not result.stalled
+        assert result.n_triplets >= 1
+
+    def test_solution_actually_covers(self, c17_setup):
+        circuit, atpg, simulator = c17_setup
+        reseeder = self._reseeder(circuit, simulator)
+        result = reseeder.run(atpg.target_faults, seed_patterns=atpg.test_set)
+        tpg = AdderAccumulator(circuit.n_inputs)
+        patterns = result.trimmed.solution.patterns(tpg)
+        assert simulator.fault_coverage(patterns, atpg.target_faults) == 1.0
+
+    def test_deterministic(self, c17_setup):
+        circuit, atpg, simulator = c17_setup
+        a = self._reseeder(circuit, simulator).run(atpg.target_faults)
+        b = self._reseeder(circuit, simulator).run(atpg.target_faults)
+        assert a.solution.triplets == b.solution.triplets
+
+    def test_counts_fault_simulations(self, c17_setup):
+        circuit, atpg, simulator = c17_setup
+        result = self._reseeder(circuit, simulator).run(atpg.target_faults)
+        assert result.fault_simulations > 0
+
+    def test_max_triplets_respected(self, c17_setup):
+        circuit, atpg, simulator = c17_setup
+        result = self._reseeder(circuit, simulator, max_triplets=1).run(
+            atpg.target_faults
+        )
+        assert result.n_triplets <= 1
+
+    def test_width_mismatch_rejected(self, c17_setup):
+        circuit, _, simulator = c17_setup
+        with pytest.raises(ValueError, match="width"):
+            GatsbyReseeder(circuit, AdderAccumulator(circuit.n_inputs + 2))
+
+    def test_empty_fault_list(self, c17_setup):
+        circuit, _, simulator = c17_setup
+        result = self._reseeder(circuit, simulator).run([])
+        assert result.n_triplets == 0
+        assert result.fault_coverage == 1.0

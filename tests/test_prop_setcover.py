@@ -1,0 +1,129 @@
+"""Property-based tests for the covering engine.
+
+The key soundness claims:
+
+* reduction never changes the optimum (essentials + optimal core
+  solution is optimal for the original instance);
+* the combinatorial B&B and the LP-based ILP solver agree with brute
+  force on every feasible instance;
+* every solver always returns a valid cover.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.setcover import (
+    CoverMatrix,
+    branch_and_bound,
+    grasp_cover,
+    greedy_cover,
+    ilp_cover,
+    reduce_matrix,
+    solve_cover,
+)
+
+
+@st.composite
+def feasible_instances(draw, max_rows=8, max_columns=10):
+    """Random boolean matrices where every column is coverable."""
+    n_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    n_columns = draw(st.integers(min_value=1, max_value=max_columns))
+    bits = draw(
+        st.lists(
+            st.lists(st.booleans(), min_size=n_columns, max_size=n_columns),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    array = np.array(bits, dtype=bool)
+    # Force feasibility: give uncovered columns one random row.
+    for column in range(n_columns):
+        if not array[:, column].any():
+            row = draw(st.integers(min_value=0, max_value=n_rows - 1))
+            array[row, column] = True
+    return CoverMatrix.from_bool_array(array)
+
+
+def _brute_force_optimum(matrix: CoverMatrix) -> int:
+    rows = sorted(matrix.rows)
+    for size in range(0, len(rows) + 1):
+        for combo in itertools.combinations(rows, size):
+            if matrix.validate_solution(combo):
+                return size
+    raise AssertionError("infeasible instance slipped through")
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=feasible_instances())
+def test_bnb_matches_brute_force(matrix):
+    optimum = _brute_force_optimum(matrix)
+    result = branch_and_bound(matrix)
+    assert result.optimal
+    assert len(result.selected) == optimum
+    assert matrix.validate_solution(result.selected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=feasible_instances())
+def test_ilp_matches_brute_force(matrix):
+    optimum = _brute_force_optimum(matrix)
+    result = ilp_cover(matrix)
+    assert result.optimal
+    assert len(result.selected) == optimum
+    assert matrix.validate_solution(result.selected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=feasible_instances())
+def test_reduction_preserves_optimum(matrix):
+    optimum = _brute_force_optimum(matrix)
+    reduction = reduce_matrix(matrix)
+    if reduction.closed:
+        core_optimum = 0
+    else:
+        core_optimum = len(branch_and_bound(reduction.core).selected)
+    assert len(reduction.essential_rows) + core_optimum == optimum
+    # and the combined selection is a valid cover of the original
+    core_pick = (
+        [] if reduction.closed else branch_and_bound(reduction.core).selected
+    )
+    assert matrix.validate_solution(reduction.essential_rows + core_pick)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=feasible_instances())
+def test_solve_cover_auto_is_optimal_and_valid(matrix):
+    optimum = _brute_force_optimum(matrix)
+    solution = solve_cover(matrix)
+    assert solution.stats.optimal
+    assert solution.n_selected == optimum
+    assert matrix.validate_solution(solution.selected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=feasible_instances(max_rows=10, max_columns=14))
+def test_heuristics_always_valid_never_better_than_optimal(matrix):
+    optimum = _brute_force_optimum(matrix)
+    greedy = greedy_cover(matrix)
+    grasp = grasp_cover(matrix, iterations=5)
+    assert matrix.validate_solution(greedy)
+    assert matrix.validate_solution(grasp.selected)
+    assert len(greedy) >= optimum
+    assert len(grasp.selected) >= optimum
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=feasible_instances())
+def test_essentials_never_removable(matrix):
+    """Every essential row uniquely covers some column at the moment of
+    selection — removing any essential from the final solution must
+    break coverage."""
+    solution = solve_cover(matrix)
+    for essential_row in solution.essential:
+        trimmed = [r for r in solution.selected if r != essential_row]
+        assert not matrix.validate_solution(trimmed)

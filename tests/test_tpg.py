@@ -1,0 +1,188 @@
+"""Tests for the TPG models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpg import (
+    AdderAccumulator,
+    Lfsr,
+    MultiPolynomialLfsr,
+    MultiplierAccumulator,
+    SubtracterAccumulator,
+    default_polynomials,
+    make_tpg,
+    tpg_names,
+)
+from repro.utils.bitvec import BitVector
+
+
+class TestBaseSemantics:
+    def test_first_pattern_is_delta(self, rng):
+        """The paper's tau='0' property: the seed appears first."""
+        for name in tpg_names():
+            tpg = make_tpg(name, 8)
+            delta = BitVector.random(8, rng)
+            sigma = tpg.suggest_sigma(rng)
+            patterns = tpg.evolve(delta, sigma, 5)
+            assert patterns[0] == delta, name
+
+    def test_length_one_reproduces_seed_exactly(self, rng):
+        tpg = AdderAccumulator(8)
+        delta = BitVector.random(8, rng)
+        assert tpg.evolve(delta, BitVector(1, 8), 1) == [delta]
+
+    def test_length_zero_is_empty(self):
+        tpg = AdderAccumulator(4)
+        assert tpg.evolve(BitVector(0, 4), BitVector(1, 4), 0) == []
+
+    def test_negative_length_rejected(self):
+        tpg = AdderAccumulator(4)
+        with pytest.raises(ValueError):
+            tpg.evolve(BitVector(0, 4), BitVector(1, 4), -1)
+
+    def test_width_mismatch_rejected(self):
+        tpg = AdderAccumulator(4)
+        with pytest.raises(ValueError, match="width"):
+            tpg.evolve(BitVector(0, 5), BitVector(1, 4), 2)
+        with pytest.raises(ValueError, match="width"):
+            tpg.evolve(BitVector(0, 4), BitVector(1, 5), 2)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            AdderAccumulator(0)
+
+    def test_evolution_deterministic(self, rng):
+        tpg = MultiplierAccumulator(8)
+        delta = BitVector.random(8, rng)
+        sigma = tpg.suggest_sigma(rng)
+        assert tpg.evolve(delta, sigma, 20) == tpg.evolve(delta, sigma, 20)
+
+
+class TestAdder:
+    def test_arithmetic_progression(self):
+        tpg = AdderAccumulator(8)
+        patterns = tpg.evolve(BitVector(10, 8), BitVector(3, 8), 4)
+        assert [p.value for p in patterns] == [10, 13, 16, 19]
+
+    def test_wraps_modulo(self):
+        tpg = AdderAccumulator(4)
+        patterns = tpg.evolve(BitVector(14, 4), BitVector(3, 4), 3)
+        assert [p.value for p in patterns] == [14, 1, 4]
+
+    def test_odd_sigma_full_period(self, rng):
+        """Odd increment => all 2^n states visited before repetition."""
+        tpg = AdderAccumulator(6)
+        sigma = tpg.suggest_sigma(rng)
+        assert sigma.bit(0) == 1
+        patterns = tpg.evolve(BitVector(0, 6), sigma, 64)
+        assert len({p.value for p in patterns}) == 64
+
+
+class TestSubtracter:
+    def test_descending_progression(self):
+        tpg = SubtracterAccumulator(8)
+        patterns = tpg.evolve(BitVector(10, 8), BitVector(3, 8), 4)
+        assert [p.value for p in patterns] == [10, 7, 4, 1]
+
+    def test_wraps_below_zero(self):
+        tpg = SubtracterAccumulator(4)
+        patterns = tpg.evolve(BitVector(1, 4), BitVector(3, 4), 3)
+        assert [p.value for p in patterns] == [1, 14, 11]
+
+    def test_mirror_of_adder(self, rng):
+        add = AdderAccumulator(8)
+        sub = SubtracterAccumulator(8)
+        delta = BitVector.random(8, rng)
+        sigma = BitVector(5, 8)
+        up = add.evolve(delta, sigma, 10)
+        down = sub.evolve(up[-1], sigma, 10)
+        assert [p.value for p in reversed(up)] == [p.value for p in down]
+
+
+class TestMultiplier:
+    def test_geometric_progression(self):
+        tpg = MultiplierAccumulator(8)
+        patterns = tpg.evolve(BitVector(3, 8), BitVector(5, 8), 3)
+        assert [p.value for p in patterns] == [3, 15, 75]
+
+    def test_suggest_sigma_odd_and_not_one(self, rng):
+        tpg = MultiplierAccumulator(8)
+        for _ in range(50):
+            sigma = tpg.suggest_sigma(rng)
+            assert sigma.bit(0) == 1
+            assert sigma.value != 1
+
+    def test_even_sigma_collapses_to_zero(self):
+        """Documents why suggest_sigma avoids even values."""
+        tpg = MultiplierAccumulator(4)
+        patterns = tpg.evolve(BitVector(7, 4), BitVector(2, 4), 6)
+        assert patterns[-1].value == 0
+
+
+class TestLfsr:
+    def test_nonzero_seed_cycles(self):
+        lfsr = Lfsr(4)
+        patterns = lfsr.evolve(BitVector(1, 4), BitVector(0, 4), 16)
+        values = [p.value for p in patterns]
+        assert 0 not in values  # primitive polynomial never reaches 0
+        assert len(set(values[:15])) == 15  # maximal period 2^4 - 1
+
+    def test_zero_seed_is_fixed_point(self):
+        lfsr = Lfsr(4)
+        patterns = lfsr.evolve(BitVector(0, 4), BitVector(0, 4), 5)
+        assert all(p.value == 0 for p in patterns)
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(4, taps=(9,))
+        with pytest.raises(ValueError):
+            Lfsr(4, taps=())
+
+    def test_default_polynomials_distinct(self):
+        bank = default_polynomials(8, count=4)
+        assert len(bank) == 4
+        assert len(set(bank)) == 4
+
+
+class TestMultiPolyLfsr:
+    def test_sigma_selects_polynomial(self):
+        tpg = MultiPolynomialLfsr(8)
+        assert tpg.polynomial_for(BitVector(0, 8)) == tpg.polynomials[0]
+        assert tpg.polynomial_for(BitVector(1, 8)) == tpg.polynomials[1]
+
+    def test_different_polynomials_different_sequences(self, rng):
+        tpg = MultiPolynomialLfsr(8)
+        delta = BitVector(0b10110101, 8)
+        runs = {
+            tuple(p.value for p in tpg.evolve(delta, BitVector(k, 8), 12))
+            for k in range(len(tpg.polynomials))
+        }
+        assert len(runs) > 1
+
+    def test_suggest_sigma_in_bank_range(self, rng):
+        tpg = MultiPolynomialLfsr(8)
+        for _ in range(20):
+            sigma = tpg.suggest_sigma(rng)
+            assert sigma.value < len(tpg.polynomials)
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPolynomialLfsr(8, polynomials=[])
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in tpg_names():
+            tpg = make_tpg(name, 8)
+            assert tpg.width == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown TPG"):
+            make_tpg("quantum", 8)
+
+    def test_paper_tpgs_registered(self):
+        from repro.tpg.registry import PAPER_TPGS
+
+        for name in PAPER_TPGS:
+            assert name in tpg_names()

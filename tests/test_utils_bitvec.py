@@ -1,0 +1,176 @@
+"""Unit and property tests for repro.utils.bitvec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitvec import (
+    BitVector,
+    ints_to_bitvectors,
+    pack_patterns,
+    unpack_words,
+)
+
+
+class TestBitVectorConstruction:
+    def test_value_and_width(self):
+        v = BitVector(0b1010, 4)
+        assert v.value == 10
+        assert v.width == 4
+        assert len(v) == 4
+
+    def test_value_is_masked_to_width(self):
+        assert BitVector(0b11111, 3).value == 0b111
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1, 4)
+
+    def test_from_bits_lsb_first(self):
+        v = BitVector.from_bits([0, 1, 0, 1])
+        assert v.value == 0b1010
+
+    def test_from_bits_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits([0, 2])
+
+    def test_from_bits_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits([])
+
+    def test_from_string_msb_first(self):
+        assert BitVector.from_string("1010").value == 10
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            BitVector.from_string("10x0")
+
+    def test_zeros_and_ones(self):
+        assert BitVector.zeros(5).value == 0
+        assert BitVector.ones(5).value == 31
+
+    def test_random_respects_width(self, rng):
+        for _ in range(50):
+            assert BitVector.random(7, rng).value < 128
+
+
+class TestBitVectorAccess:
+    def test_bit_indexing(self):
+        v = BitVector(0b0110, 4)
+        assert [v[i] for i in range(4)] == [0, 1, 1, 0]
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(0, 4).bit(4)
+
+    def test_bits_roundtrip(self):
+        bits = [1, 0, 0, 1, 1]
+        assert BitVector.from_bits(bits).bits() == bits
+
+    def test_set_bit(self):
+        v = BitVector(0b0000, 4).set_bit(2, 1)
+        assert v.value == 0b0100
+        assert v.set_bit(2, 0).value == 0
+
+    def test_set_bit_is_nonmutating(self):
+        v = BitVector(0, 4)
+        v.set_bit(0, 1)
+        assert v.value == 0
+
+    def test_popcount(self):
+        assert BitVector(0b1011, 4).popcount() == 3
+
+    def test_slice(self):
+        v = BitVector(0b110100, 6)
+        assert v.slice(2, 3).value == 0b101
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 4).slice(2, 4)
+
+    def test_concat_low_bits_first(self):
+        low = BitVector(0b01, 2)
+        high = BitVector(0b11, 2)
+        assert low.concat(high).value == 0b1101
+
+    def test_resized_extends_and_truncates(self):
+        v = BitVector(0b101, 3)
+        assert v.resized(5).value == 0b101
+        assert v.resized(2).value == 0b01
+
+    def test_to_string_msb_first(self):
+        assert BitVector(0b0011, 4).to_string() == "0011"
+
+
+class TestBitVectorArithmetic:
+    def test_add_wraps(self):
+        a = BitVector(0b1111, 4)
+        assert (a + BitVector(1, 4)).value == 0
+
+    def test_sub_wraps(self):
+        a = BitVector(0, 4)
+        assert (a - BitVector(1, 4)).value == 15
+
+    def test_mul_wraps(self):
+        a = BitVector(5, 4)
+        assert (a * BitVector(5, 4)).value == 25 % 16
+
+    def test_bitwise_ops(self):
+        a, b = BitVector(0b1100, 4), BitVector(0b1010, 4)
+        assert (a & b).value == 0b1000
+        assert (a | b).value == 0b1110
+        assert (a ^ b).value == 0b0110
+        assert (~a).value == 0b0011
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 4) + BitVector(0, 5)
+
+    def test_equality_requires_width(self):
+        assert BitVector(1, 4) != BitVector(1, 5)
+        assert BitVector(1, 4) == BitVector(1, 4)
+
+    def test_hashable(self):
+        assert len({BitVector(1, 4), BitVector(1, 4), BitVector(2, 4)}) == 2
+
+
+class TestPacking:
+    def test_pack_empty(self):
+        assert pack_patterns([], 4).shape == (4, 0)
+
+    def test_pack_single_pattern(self):
+        words = pack_patterns([BitVector(0b101, 3)], 3)
+        assert words.shape == (3, 1)
+        assert int(words[0, 0]) == 1  # bit 0 of pattern 0 -> word bit 0
+        assert int(words[1, 0]) == 0
+        assert int(words[2, 0]) == 1
+
+    def test_pack_width_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_patterns([BitVector(0, 3)], 4)
+
+    def test_pack_crosses_word_boundary(self):
+        patterns = [BitVector(i & 1, 1) for i in range(70)]
+        words = pack_patterns(patterns, 1)
+        assert words.shape == (1, 2)
+        recovered = unpack_words(words, 70)
+        assert recovered == patterns
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=130)
+    )
+    def test_pack_unpack_roundtrip(self, values):
+        patterns = ints_to_bitvectors(values, 8)
+        words = pack_patterns(patterns, 8)
+        assert unpack_words(words, len(patterns)) == patterns
+
+    def test_words_dtype(self):
+        words = pack_patterns([BitVector(1, 2)], 2)
+        assert words.dtype == np.uint64

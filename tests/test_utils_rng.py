@@ -1,0 +1,61 @@
+"""Tests for the named deterministic RNG streams."""
+
+from __future__ import annotations
+
+from repro.utils.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_depends_on_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_depends_on_names(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_depends_on_name_order(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_path_not_ambiguous_with_concatenation(self):
+        # ("ab",) must differ from ("a", "b").
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_accepts_int_names(self):
+        assert derive_seed(1, 5) == derive_seed(1, 5)
+        assert derive_seed(1, 5) != derive_seed(1, 6)
+
+
+class TestRngStream:
+    def test_same_path_same_sequence(self):
+        a = RngStream(9, "x").getrandbits(64)
+        b = RngStream(9, "x").getrandbits(64)
+        assert a == b
+
+    def test_different_paths_diverge(self):
+        a = RngStream(9, "x").getrandbits(64)
+        b = RngStream(9, "y").getrandbits(64)
+        assert a != b
+
+    def test_child_stream_is_namespaced(self):
+        parent = RngStream(9, "x")
+        child = parent.child("sub")
+        direct = RngStream(9, "x", "sub")
+        assert child.getrandbits(64) == direct.getrandbits(64)
+
+    def test_child_does_not_consume_parent_state(self):
+        parent = RngStream(9, "x")
+        first = RngStream(9, "x").getrandbits(64)
+        parent.child("sub")
+        assert parent.getrandbits(64) == first
+
+    def test_full_random_api_available(self):
+        stream = RngStream(9, "api")
+        stream.shuffle(items := list(range(10)))
+        assert sorted(items) == list(range(10))
+        assert 0 <= stream.randrange(5) < 5
+        assert stream.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_repr_mentions_path(self):
+        assert "a/b" in repr(RngStream(9, "a", "b"))

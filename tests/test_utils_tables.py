@@ -1,0 +1,73 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import AsciiTable, render_series
+
+
+class TestAsciiTable:
+    def test_render_contains_headers_and_cells(self):
+        table = AsciiTable(["circuit", "#triplets"])
+        table.add_row(["c880", 5])
+        text = table.render()
+        assert "circuit" in text
+        assert "c880" in text
+        assert "5" in text
+
+    def test_row_length_mismatch_rejected(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_numeric_columns_right_aligned(self):
+        table = AsciiTable(["name", "count"])
+        table.add_row(["x", 1])
+        table.add_row(["longer", 100])
+        lines = table.render().splitlines()
+        # the numeric cell of the first data row ends at the column edge
+        first_data = [l for l in lines if "| x" in l][0]
+        assert first_data.rstrip().endswith("1 |")
+
+    def test_none_renders_empty(self):
+        table = AsciiTable(["a"])
+        table.add_row([None])
+        assert "| " in table.render()
+
+    def test_float_formatting(self):
+        table = AsciiTable(["fc"])
+        table.add_row([0.98765])
+        assert "0.99" in table.render()
+
+    def test_title_line(self):
+        table = AsciiTable(["a"], title="Table 1")
+        assert table.render().splitlines()[0] == "Table 1"
+
+    def test_csv_output(self):
+        table = AsciiTable(["a", "b"])
+        table.add_row([1, "x"])
+        assert table.render_csv() == "a,b\n1,x"
+
+    def test_rows_accessor_copies(self):
+        table = AsciiTable(["a"])
+        table.add_row([1])
+        table.rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"
+
+
+class TestRenderSeries:
+    def test_plots_all_points(self):
+        text = render_series([1, 2, 3], [10, 20, 30], "x", "y")
+        assert text.count("*") >= 3 or "*" in text
+
+    def test_empty_series(self):
+        assert "empty" in render_series([], [], "x", "y")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1, 2], "x", "y")
+
+    def test_constant_series_does_not_crash(self):
+        text = render_series([1, 1], [5, 5], "x", "y")
+        assert "*" in text
