@@ -1,0 +1,112 @@
+"""Fault-simulation throughput: batched engine vs per-fault baseline.
+
+Tracks faults x patterns per second for Detection Matrix row
+construction on ``c880`` and ``s1238`` (the workload the paper's flow
+spends nearly all of its time in), and asserts the batched engine's
+speedup over the legacy per-fault engine stays above the 3x floor on
+``s1238`` so the optimization cannot silently regress.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import load_circuit
+from repro.faults.collapse import collapse_faults
+from repro.sim.batch import BatchFaultSimulator
+from repro.sim.fault import SerialFaultSimulator
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+#: Circuit scale for the throughput workloads (matches conftest's
+#: BENCH_SCALE so numbers are comparable across benchmark files).
+THROUGHPUT_SCALE = 0.2
+
+#: Detection-matrix workload: rows of 32-pattern test sets.
+N_ROWS = 8
+PATTERNS_PER_ROW = 32
+
+#: Required batched-vs-serial advantage on s1238 (acceptance floor 3x;
+#: measured ~5-6x on the reference container).
+MIN_SPEEDUP = 3.0
+
+
+def _workload(name: str):
+    circuit = load_circuit(name, scale=THROUGHPUT_SCALE)
+    faults = collapse_faults(circuit)
+    rng = RngStream(3, "throughput", name)
+    rows = [
+        [BitVector.random(circuit.n_inputs, rng) for _ in range(PATTERNS_PER_ROW)]
+        for _ in range(N_ROWS)
+    ]
+    return circuit, faults, rows
+
+
+def _run_batched(circuit, faults, rows):
+    simulator = BatchFaultSimulator(circuit)
+    return list(simulator.detection_matrix_rows(rows, faults))
+
+
+def _run_serial(circuit, faults, rows):
+    simulator = SerialFaultSimulator(circuit)
+    return [simulator.detected(patterns, faults) for patterns in rows]
+
+
+def _fp_per_sec(n_faults: int, seconds: float) -> float:
+    return n_faults * PATTERNS_PER_ROW * N_ROWS / seconds
+
+
+@pytest.mark.parametrize("name", ["c880", "s1238"])
+def test_batched_matrix_rows_throughput(benchmark, name):
+    circuit, faults, rows = _workload(name)
+    result = benchmark(_run_batched, circuit, faults, rows)
+    assert len(result) == N_ROWS
+    stats_mean = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats_mean is not None and stats_mean.mean:
+        benchmark.extra_info["faults_x_patterns_per_sec"] = round(
+            _fp_per_sec(len(faults), stats_mean.mean)
+        )
+    benchmark.extra_info["n_faults"] = len(faults)
+
+
+@pytest.mark.parametrize("name", ["c880", "s1238"])
+def test_serial_baseline_throughput(benchmark, name):
+    circuit, faults, rows = _workload(name)
+    result = benchmark(_run_serial, circuit, faults, rows)
+    assert len(result) == N_ROWS
+    benchmark.extra_info["n_faults"] = len(faults)
+
+
+@pytest.mark.slow
+def test_batched_speedup_floor_s1238():
+    """Batched detection-matrix construction must stay >= 3x the
+    per-fault baseline on s1238 (best-of-two timing to damp noise).
+
+    Marked ``slow``: wall-clock ratio assertions belong in deliberate
+    benchmark runs (``-m "slow or not slow"``), not in tier-1 or CI
+    smoke on contended shared runners.
+    """
+    circuit, faults, rows = _workload("s1238")
+
+    def best_of_two(run):
+        times = []
+        for _ in range(2):
+            start = time.perf_counter()
+            result = run(circuit, faults, rows)
+            times.append(time.perf_counter() - start)
+        return result, min(times)
+
+    serial_rows, serial_time = best_of_two(_run_serial)
+    batched_rows, batched_time = best_of_two(_run_batched)
+    # Same workload, identical results — the speedup is not bought with
+    # wrong answers.
+    for serial_row, batched_row in zip(serial_rows, batched_rows):
+        np.testing.assert_array_equal(np.asarray(serial_row), batched_row)
+    speedup = serial_time / batched_time
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched engine only {speedup:.2f}x the per-fault baseline "
+        f"(serial {serial_time:.3f}s, batched {batched_time:.3f}s)"
+    )

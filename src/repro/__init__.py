@@ -23,7 +23,7 @@ paper-vs-measured record of every table and figure.
 from repro.circuit import Circuit, Gate, GateType, parse_bench, write_bench
 from repro.circuits import CATALOG, PAPER_CIRCUITS, load_circuit
 from repro.faults import Fault, collapse_faults, full_fault_list
-from repro.sim import CompiledCircuit, FaultSimulator
+from repro.sim import BatchFaultSimulator, CompiledCircuit, FaultSimulator
 from repro.atpg import AtpgEngine, Podem
 from repro.tpg import TestPatternGenerator, make_tpg
 from repro.reseeding import (
@@ -42,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AtpgEngine",
+    "BatchFaultSimulator",
     "BitVector",
     "CATALOG",
     "CompiledCircuit",

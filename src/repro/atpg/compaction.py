@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
+from repro.sim.batch import BatchFaultSimulator
 from repro.sim.fault import FaultSimulator
 from repro.utils.bitvec import BitVector
 
@@ -20,7 +21,7 @@ def reverse_order_compaction(
     circuit: Circuit,
     patterns: list[BitVector],
     faults: list[Fault],
-    simulator: FaultSimulator | None = None,
+    simulator: BatchFaultSimulator | None = None,
 ) -> list[BitVector]:
     """Drop patterns made redundant by later ones.
 

@@ -19,6 +19,7 @@ from repro.atpg.random_gen import random_phase
 from repro.circuit.netlist import Circuit
 from repro.faults.collapse import collapse_faults
 from repro.faults.model import Fault, full_fault_list
+from repro.sim.batch import BatchFaultSimulator
 from repro.sim.fault import FaultSimulator
 from repro.utils.bitvec import BitVector
 from repro.utils.rng import RngStream
@@ -79,13 +80,14 @@ class AtpgEngine:
         max_random_patterns: int = 4096,
         backtrack_limit: int = 250,
         compact: bool = True,
+        simulator: BatchFaultSimulator | None = None,
     ) -> None:
         self.circuit = circuit
         self.seed = seed
         self.max_random_patterns = max_random_patterns
         self.backtrack_limit = backtrack_limit
         self.compact = compact
-        self.simulator = FaultSimulator(circuit)
+        self.simulator = simulator or FaultSimulator(circuit)
 
     def run(self, faults: list[Fault] | None = None) -> AtpgResult:
         """Generate a complete test set for ``faults`` (default: the

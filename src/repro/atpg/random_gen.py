@@ -10,8 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
+from repro.sim.batch import BatchFaultSimulator
 from repro.sim.fault import FaultSimulator
 from repro.utils.bitvec import BitVector
 from repro.utils.rng import RngStream
@@ -38,7 +41,7 @@ def random_phase(
     block_size: int = 64,
     max_patterns: int = 4096,
     stale_blocks: int = 4,
-    simulator: FaultSimulator | None = None,
+    simulator: BatchFaultSimulator | None = None,
 ) -> RandomPhaseResult:
     """Run the random phase; only *useful* patterns are kept.
 
@@ -59,26 +62,21 @@ def random_phase(
         ]
         generated += len(block)
         matrix = simulator.detection_matrix(block, remaining)
-        newly_detected_indices: set[int] = set()
-        progress = False
-        for pattern_index, pattern in enumerate(block):
-            fresh = [
-                fault_index
-                for fault_index in range(len(remaining))
-                if fault_index not in newly_detected_indices
-                and matrix[pattern_index, fault_index]
-            ]
-            if not fresh:
-                continue
-            progress = True
-            detected[len(kept)] = [remaining[fault_index] for fault_index in fresh]
-            kept.append(pattern)
-            newly_detected_indices.update(fresh)
-        if newly_detected_indices:
+        # Per fault: index of its first detecting pattern in this block
+        # (-1 if undetected).  A pattern is kept iff it first-detects
+        # at least one fault, in block order.
+        ever_hit = matrix.any(axis=0)
+        first_hit = np.where(ever_hit, matrix.argmax(axis=0), -1)
+        progress = bool(ever_hit.any())
+        for pattern_index in np.unique(first_hit[ever_hit]):
+            fresh = np.flatnonzero(first_hit == pattern_index)
+            detected[len(kept)] = [remaining[int(i)] for i in fresh]
+            kept.append(block[int(pattern_index)])
+        if progress:
             remaining = [
                 fault
                 for fault_index, fault in enumerate(remaining)
-                if fault_index not in newly_detected_indices
+                if not ever_hit[fault_index]
             ]
         blocks_without_progress = 0 if progress else blocks_without_progress + 1
     return RandomPhaseResult(kept, detected, remaining)

@@ -130,6 +130,32 @@ def eval_gate_words(gtype: GateType, fanin_words: Sequence[np.ndarray]) -> np.nd
     raise ValueError(f"unknown gate type {gtype!r}")
 
 
+def reduce_gate_words(
+    gtype: GateType, stacked: np.ndarray, axis: int = 1
+) -> np.ndarray:
+    """Evaluate many same-type gates at once on a stacked fanin array.
+
+    ``stacked`` carries the gathered fanin words of a *group* of gates
+    sharing one gate type and fanin arity; ``axis`` is the fanin axis
+    (reduced away).  This is the vectorised counterpart of
+    :func:`eval_gate_words`: one numpy call evaluates a whole group
+    instead of one call per gate.
+    """
+    if gtype in (GateType.AND, GateType.NAND):
+        out = np.bitwise_and.reduce(stacked, axis=axis)
+    elif gtype in (GateType.OR, GateType.NOR):
+        out = np.bitwise_or.reduce(stacked, axis=axis)
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        out = np.bitwise_xor.reduce(stacked, axis=axis)
+    elif gtype in (GateType.NOT, GateType.BUF):
+        out = np.take(stacked, 0, axis=axis)
+    else:
+        raise ValueError(f"gate type {gtype!r} has no word-reduction form")
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+        out = out ^ _ALL_ONES
+    return out
+
+
 def controlling_value(gtype: GateType) -> int | None:
     """The controlling input value of a gate, or ``None`` if it has none
     (XOR/XNOR/BUF/NOT).  Used by the PODEM backtrace and the D-frontier

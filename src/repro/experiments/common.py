@@ -67,6 +67,7 @@ class ExperimentConfig:
     evolution_length: int = 32
     max_random_patterns: int = 1024
     run_gatsby: bool = True
+    matrix_workers: int | None = None
 
     def pipeline_config(self, evolution_length: int | None = None) -> PipelineConfig:
         """The equivalent flow configuration."""
@@ -74,6 +75,7 @@ class ExperimentConfig:
             seed=self.seed,
             evolution_length=evolution_length or self.evolution_length,
             max_random_patterns=self.max_random_patterns,
+            matrix_workers=self.matrix_workers,
         )
 
 
@@ -168,6 +170,13 @@ def make_arg_parser(description: str) -> argparse.ArgumentParser:
         help="skip the (slow) GATSBY GA baseline",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for row-parallel Detection Matrix construction "
+        "(default: serial)",
+    )
+    parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of an ASCII table"
     )
     return parser
@@ -187,4 +196,5 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         evolution_length=args.evolution_length,
         run_gatsby=not args.no_gatsby,
+        matrix_workers=getattr(args, "workers", None),
     )

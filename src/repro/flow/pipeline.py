@@ -36,7 +36,9 @@ class PipelineConfig:
     """Knobs for one pipeline run.
 
     ``evolution_length`` is the paper's experimentally tuned T, equal
-    for all candidate triplets (Section 3.1).
+    for all candidate triplets (Section 3.1).  ``matrix_workers`` opts in
+    to row-parallel Detection Matrix construction over a process pool
+    (``None``/1 = serial, identical results either way).
     """
 
     seed: int = 2001
@@ -45,6 +47,7 @@ class PipelineConfig:
     max_random_patterns: int = 4096
     backtrack_limit: int = 250
     grasp_iterations: int = 30
+    matrix_workers: int | None = None
 
 
 @dataclass
@@ -138,8 +141,8 @@ class ReseedingPipeline:
                 seed=config.seed,
                 max_random_patterns=config.max_random_patterns,
                 backtrack_limit=config.backtrack_limit,
+                simulator=self.simulator,
             )
-            engine.simulator = self.simulator
             atpg_result = engine.run()
         timings["atpg"] = time.perf_counter() - start
 
@@ -148,7 +151,9 @@ class ReseedingPipeline:
             self.circuit, self.tpg, seed=config.seed, simulator=self.simulator
         )
         initial = builder.build_from_atpg(
-            atpg_result, evolution_length=config.evolution_length
+            atpg_result,
+            evolution_length=config.evolution_length,
+            workers=config.matrix_workers,
         )
         timings["detection_matrix"] = time.perf_counter() - start
 

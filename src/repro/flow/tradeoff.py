@@ -45,6 +45,9 @@ def explore_tradeoff(
 
     The expected shape (asserted by the Figure-2 benchmark): triplet
     count is non-increasing in T while the global test length grows.
+    The batched fault simulator (and, via ``config.matrix_workers``, the
+    row-parallel matrix path) is shared across all sweep points, so the
+    per-point cost is one covering pass, not a fresh simulator compile.
     """
     if not evolution_lengths:
         raise ValueError("evolution_lengths must be non-empty")
@@ -61,8 +64,8 @@ def explore_tradeoff(
             seed=base_config.seed,
             max_random_patterns=base_config.max_random_patterns,
             backtrack_limit=base_config.backtrack_limit,
+            simulator=simulator,
         )
-        engine.simulator = simulator
         atpg_result = engine.run()
     points: list[TradeoffPoint] = []
     for length in evolution_lengths:
@@ -73,6 +76,7 @@ def explore_tradeoff(
             max_random_patterns=base_config.max_random_patterns,
             backtrack_limit=base_config.backtrack_limit,
             grasp_iterations=base_config.grasp_iterations,
+            matrix_workers=base_config.matrix_workers,
         )
         pipeline = ReseedingPipeline(
             circuit,

@@ -5,6 +5,11 @@ One GA run per triplet: the chromosome concatenates ``delta`` and
 test set detects (a full fault simulation per evaluation).  Detected
 faults are dropped and the loop repeats until the fault list is empty,
 progress stalls, or a triplet budget is exhausted.
+
+Every fitness evaluation rides the batched engine: the remaining-fault
+list is simulated in fault batches against the candidate's test set
+(with early fault dropping inside :meth:`BatchFaultSimulator.detected`),
+which is what keeps the GA's thousands of fault simulations affordable.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.faults.model import Fault
 from repro.gatsby.ga import GaConfig, GeneticAlgorithm
 from repro.reseeding.triplet import ReseedingSolution, Triplet
 from repro.reseeding.trim import TrimmedSolution, trim_solution
+from repro.sim.batch import BatchFaultSimulator
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
 from repro.utils.bitvec import BitVector
@@ -55,7 +61,7 @@ class GatsbyReseeder:
         ga_config: GaConfig | None = None,
         max_triplets: int = 256,
         stall_limit: int = 3,
-        simulator: FaultSimulator | None = None,
+        simulator: BatchFaultSimulator | None = None,
     ) -> None:
         if tpg.width != circuit.n_inputs:
             raise ValueError(

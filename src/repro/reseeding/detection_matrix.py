@@ -19,6 +19,7 @@ import numpy as np
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
 from repro.reseeding.triplet import Triplet
+from repro.sim.batch import BatchFaultSimulator, parallel_detection_rows
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
 
@@ -86,18 +87,28 @@ def build_detection_matrix(
     tpg: TestPatternGenerator,
     triplets: list[Triplet],
     faults: list[Fault],
-    simulator: FaultSimulator | None = None,
+    simulator: BatchFaultSimulator | None = None,
+    workers: int | None = None,
 ) -> DetectionMatrix:
     """Fault-simulate every triplet's test set over ``faults``.
 
     This is the only simulation-heavy step of the set-covering approach —
     the paper's point that "the number of fault simulations is reduced
-    and limited to the construction of the Detection Matrix".
+    and limited to the construction of the Detection Matrix".  Rows are
+    streamed through :meth:`BatchFaultSimulator.detection_matrix_rows`,
+    so every row reuses the same cached cone-union schedules and
+    simulates its fault-free values exactly once.  ``workers=N`` opts in
+    to row-parallel construction over a process pool (rows are
+    independent); the result is identical to the serial path.
     """
-    simulator = simulator or FaultSimulator(circuit)
-    matrix = np.zeros((len(triplets), len(faults)), dtype=bool)
-    for row, triplet in enumerate(triplets):
-        patterns = triplet.test_set(tpg)
-        if patterns:
-            matrix[row, :] = simulator.detected(patterns, faults)
+    pattern_sets = [triplet.test_set(tpg) for triplet in triplets]
+    if workers is not None and workers > 1:
+        matrix = parallel_detection_rows(circuit, pattern_sets, faults, workers)
+    else:
+        simulator = simulator or FaultSimulator(circuit)
+        matrix = np.zeros((len(triplets), len(faults)), dtype=bool)
+        for row, values in enumerate(
+            simulator.detection_matrix_rows(pattern_sets, faults)
+        ):
+            matrix[row, :] = values
     return DetectionMatrix(list(triplets), list(faults), matrix)

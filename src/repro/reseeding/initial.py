@@ -62,9 +62,11 @@ class InitialReseedingBuilder:
         atpg_patterns: list[BitVector],
         faults: list[Fault],
         evolution_length: int = 64,
+        workers: int | None = None,
     ) -> InitialReseeding:
         """One candidate triplet per ATPG pattern, plus the matrix.
 
+        ``workers=N`` opts in to row-parallel matrix construction.
         Raises if the resulting matrix does not cover every fault —
         that would violate the construction invariant (pattern 0 of each
         evolution is the ATPG pattern itself).
@@ -77,7 +79,12 @@ class InitialReseedingBuilder:
             for pattern in atpg_patterns
         ]
         matrix = build_detection_matrix(
-            self.circuit, self.tpg, triplets, faults, simulator=self.simulator
+            self.circuit,
+            self.tpg,
+            triplets,
+            faults,
+            simulator=self.simulator,
+            workers=workers,
         )
         missing = matrix.undetected_faults()
         if missing:
@@ -88,9 +95,15 @@ class InitialReseedingBuilder:
         return InitialReseeding(triplets, matrix, evolution_length)
 
     def build_from_atpg(
-        self, atpg_result: AtpgResult, evolution_length: int = 64
+        self,
+        atpg_result: AtpgResult,
+        evolution_length: int = 64,
+        workers: int | None = None,
     ) -> InitialReseeding:
         """Convenience overload taking an :class:`AtpgResult` directly."""
         return self.build(
-            atpg_result.test_set, atpg_result.target_faults, evolution_length
+            atpg_result.test_set,
+            atpg_result.target_faults,
+            evolution_length,
+            workers=workers,
         )

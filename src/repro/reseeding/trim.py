@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
 from repro.reseeding.triplet import ReseedingSolution, Triplet
+from repro.sim.batch import BatchFaultSimulator
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
 
@@ -48,7 +49,7 @@ def trim_solution(
     tpg: TestPatternGenerator,
     triplets: list[Triplet],
     faults: list[Fault],
-    simulator: FaultSimulator | None = None,
+    simulator: BatchFaultSimulator | None = None,
 ) -> TrimmedSolution:
     """Trim each triplet to its last useful pattern, in sequence order.
 

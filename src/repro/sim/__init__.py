@@ -1,26 +1,34 @@
 """Logic and fault simulation.
 
 * :mod:`repro.sim.logic` — 64-way bit-parallel true-value simulation.
-* :mod:`repro.sim.fault` — parallel-pattern single-fault (PPSFP)
-  stuck-at fault simulation on the packed representation.
+* :mod:`repro.sim.batch` — batched PPSFP stuck-at fault simulation with
+  fault dropping and a row-parallel multiprocessing path (the engine
+  behind :class:`FaultSimulator`).
+* :mod:`repro.sim.fault` — the :class:`FaultSimulator` compatibility
+  wrapper plus the legacy per-fault :class:`SerialFaultSimulator`
+  baseline.
 * :mod:`repro.sim.event` — a slow, obviously-correct single-pattern
   reference simulator used to cross-check the packed engines.
 """
 
 from repro.sim.logic import CompiledCircuit, simulate_patterns
-from repro.sim.fault import FaultSimulator, detected_faults
+from repro.sim.batch import BatchFaultSimulator, parallel_detection_rows
+from repro.sim.fault import FaultSimulator, SerialFaultSimulator, detected_faults
 from repro.sim.event import ReferenceSimulator
 from repro.sim.sequential import SequentialSimulator
 from repro.sim.misr import Misr, aliasing_rate, golden_signature
 
 __all__ = [
+    "BatchFaultSimulator",
     "CompiledCircuit",
     "FaultSimulator",
+    "SerialFaultSimulator",
     "Misr",
     "ReferenceSimulator",
     "SequentialSimulator",
     "aliasing_rate",
     "detected_faults",
     "golden_signature",
+    "parallel_detection_rows",
     "simulate_patterns",
 ]

@@ -1,0 +1,486 @@
+"""Batched parallel-pattern fault simulation (PPSFP over fault batches).
+
+The legacy engine (:class:`repro.sim.fault.SerialFaultSimulator`) walks
+one fault cone at a time, paying one Python-level gate evaluation per
+cone node *per fault*.  This engine simulates a whole **batch** of
+faults at once:
+
+* faulty node values are stacked along a fault axis — every node touched
+  by the batch owns a ``(batch, n_words)`` ``uint64`` array, so one
+  numpy call propagates 64 patterns for *all* faults in the batch;
+* the batch shares one **cone-union schedule**: the union of the faults'
+  output cones is levelized and grouped by (gate type, arity) once per
+  distinct fault batch (:class:`_BatchPlan`), then reused for every
+  pattern set simulated against that batch (e.g. every Detection Matrix
+  row);
+* fault injection is done by *forcing* rows: a stem fault freezes its
+  net's row at the stuck value, a branch fault freezes the reading
+  gate's row at the gate function with the faulty pin stuck.  Forced
+  rows are re-asserted after their level evaluates, so a site that lies
+  inside another fault's cone is still simulated correctly for the other
+  rows of the batch.
+
+**Fault dropping**: the any-pattern queries (:meth:`detected`,
+:meth:`first_detection_index`, :meth:`fault_coverage`) scan the pattern
+set in word-aligned windows and remove faults from the active set as
+soon as a window detects them, so easy faults never pay for the full
+pattern set.
+
+:meth:`detection_matrix_rows` streams Detection Matrix rows (one row
+per pattern set) over a fixed fault batching, and
+:func:`parallel_detection_rows` fans rows out over a process pool for
+an opt-in ``workers=N`` construction path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.circuit.gates import GateType, eval_gate_words, reduce_gate_words
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+from repro.sim.logic import CompiledCircuit, tail_mask
+from repro.utils.bitvec import BitVector, pack_patterns
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Default number of faults simulated per batch.
+DEFAULT_BATCH_SIZE = 32
+
+#: Fault-dropping window, in 64-pattern words (8 words = 512 patterns).
+DROP_WINDOW_WORDS = 8
+
+#: Cached cone-union schedules per simulator (LRU).  Callers that batch
+#: a stable fault list (Detection Matrix rows) hit the same few plans
+#: forever; fault dropping generates one-shot survivor tuples, which
+#: must not accumulate for the simulator's lifetime.
+PLAN_CACHE_SIZE = 256
+
+
+class _BatchPlan:
+    """The compiled cone-union schedule for one tuple of faults.
+
+    Built once per distinct fault batch and cached by the simulator; the
+    expensive structural work (cone unions, level grouping, buffer
+    layout) is paid here so :meth:`detect_words` is pure numpy.
+    """
+
+    __slots__ = (
+        "n_faults",
+        "n_buf",
+        "boundary_pos",
+        "boundary_ids",
+        "level_groups",
+        "forcings",
+        "out_pos",
+        "out_ids",
+    )
+
+    def __init__(
+        self,
+        compiled: CompiledCircuit,
+        faults: Sequence[Fault],
+        cone_of,
+    ) -> None:
+        self.n_faults = len(faults)
+        # Per-fault injection spec: (site node id, stuck value, branch gate
+        # spec or None).  Branch forced values depend on the fault-free
+        # values, so only the structure is precomputed.
+        specs: list[tuple[int, int, tuple[GateType, tuple[int, ...], int] | None]] = []
+        union: set[int] = set()
+        for fault in faults:
+            site = fault.site
+            if site.is_branch:
+                gate_id = compiled.index[site.gate]
+                branch = (
+                    compiled.gate_types[gate_id],
+                    compiled.gate_fanins[gate_id],
+                    int(site.pin),
+                )
+                node = gate_id
+            else:
+                branch = None
+                node = compiled.index[site.net]
+            specs.append((node, fault.value, branch))
+            union.update(cone_of(node))
+        site_nodes = {node for node, _, _ in specs}
+        # Buffer membership: every evaluated node, every site, and every
+        # fanin an evaluated gate reads (so gathers hit one buffer).
+        buf_set = set(union) | site_nodes
+        for node_id in union:
+            buf_set.update(compiled.gate_fanins[node_id])
+        buf_ids = sorted(buf_set)
+        pos = {node_id: i for i, node_id in enumerate(buf_ids)}
+        self.n_buf = len(buf_ids)
+        boundary = [node_id for node_id in buf_ids if node_id not in union]
+        self.boundary_pos = np.array([pos[n] for n in boundary], dtype=np.int64)
+        self.boundary_ids = np.array(boundary, dtype=np.int64)
+        # Forcings: (buffer row, fault row, stuck, branch spec, level,
+        # evaluated) — `evaluated` marks sites inside the union, whose
+        # rows must be re-forced after their level evaluates.
+        levels = compiled.node_levels
+        self.forcings = [
+            (
+                pos[node],
+                row,
+                stuck,
+                branch,
+                int(levels[node]),
+                node in union,
+            )
+            for row, (node, stuck, branch) in enumerate(specs)
+        ]
+        # Cone-union schedule: union nodes grouped by (level, type, arity),
+        # with fanin ids rewritten to buffer positions.
+        grouped: dict[
+            tuple[int, GateType, int], tuple[list[int], list[list[int]]]
+        ] = {}
+        for node_id in union:
+            gtype = compiled.gate_types[node_id]
+            fanins = compiled.gate_fanins[node_id]
+            key = (int(levels[node_id]), gtype, len(fanins))
+            outs, fins = grouped.setdefault(key, ([], []))
+            outs.append(pos[node_id])
+            fins.append([pos[f] for f in fanins])
+        by_level: dict[int, list[tuple[GateType, np.ndarray, np.ndarray]]] = {}
+        for level, gtype, arity in sorted(grouped, key=lambda k: k[0]):
+            outs, fins = grouped[(level, gtype, arity)]
+            by_level.setdefault(level, []).append(
+                (
+                    gtype,
+                    np.array(outs, dtype=np.int64),
+                    np.array(fins, dtype=np.int64),
+                )
+            )
+        self.level_groups = sorted(by_level.items())
+        # Observation points: only POs inside the union (or forced as a
+        # site) can diverge from the fault-free values.
+        observable = union | site_nodes
+        out_ids = [int(o) for o in compiled.output_ids if int(o) in observable]
+        self.out_pos = np.array([pos[o] for o in out_ids], dtype=np.int64)
+        self.out_ids = np.array(out_ids, dtype=np.int64)
+
+    def _forced_words(self, good: np.ndarray) -> list[tuple[int, int, np.ndarray, int, bool]]:
+        """Materialise forced rows for one good-value array:
+        (buffer row, fault row, words, level, evaluated)."""
+        n_words = good.shape[1]
+        forced: list[tuple[int, int, np.ndarray, int, bool]] = []
+        for buf_row, fault_row, stuck, branch, level, evaluated in self.forcings:
+            stuck_words = (
+                np.full(n_words, _ALL_ONES, dtype=np.uint64)
+                if stuck
+                else np.zeros(n_words, dtype=np.uint64)
+            )
+            if branch is None:
+                words = stuck_words
+            else:
+                gtype, fanins, pin = branch
+                words = eval_gate_words(
+                    gtype,
+                    [
+                        stuck_words if j == pin else good[fanin_id]
+                        for j, fanin_id in enumerate(fanins)
+                    ],
+                )
+            forced.append((buf_row, fault_row, words, level, evaluated))
+        return forced
+
+    def detect_words(self, good: np.ndarray) -> np.ndarray:
+        """Per-fault detection words against ``good`` values.
+
+        ``good`` has shape ``(n_nodes, n_words)``; the result has shape
+        ``(n_faults, n_words)`` with a bit set where some primary output
+        differs from the fault-free value (tail bits unmasked).
+        """
+        n_words = good.shape[1]
+        if not self.out_pos.size:
+            return np.zeros((self.n_faults, n_words), dtype=np.uint64)
+        buf = np.empty((self.n_buf, self.n_faults, n_words), dtype=np.uint64)
+        if self.boundary_pos.size:
+            buf[self.boundary_pos] = good[self.boundary_ids][:, None, :]
+        forced = self._forced_words(good)
+        for buf_row, fault_row, words, _level, _evaluated in forced:
+            buf[buf_row, fault_row] = words
+        for level, groups in self.level_groups:
+            for gtype, out_pos, fanin_pos in groups:
+                # Gather shape: (group size, arity, batch, n_words).
+                buf[out_pos] = reduce_gate_words(gtype, buf[fanin_pos], axis=1)
+            for buf_row, fault_row, words, force_level, evaluated in forced:
+                if evaluated and force_level == level:
+                    buf[buf_row, fault_row] = words
+        diff = buf[self.out_pos] ^ good[self.out_ids][:, None, :]
+        return np.bitwise_or.reduce(diff, axis=0)
+
+
+class BatchFaultSimulator:
+    """Batched stuck-at fault simulator bound to one circuit.
+
+    The compiled circuit, per-node cones and per-batch schedules are all
+    cached, so repeated calls (one per Detection Matrix row, one per GA
+    fitness evaluation, ...) only pay for numpy work.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        drop_window_words: int = DROP_WINDOW_WORDS,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if drop_window_words < 1:
+            raise ValueError(
+                f"drop_window_words must be >= 1, got {drop_window_words}"
+            )
+        self.compiled = CompiledCircuit(circuit)
+        self.circuit = circuit
+        self.batch_size = batch_size
+        self.drop_window_words = drop_window_words
+        self._cone_cache: dict[int, list[int]] = {}
+        self._plan_cache: OrderedDict[tuple[Fault, ...], _BatchPlan] = OrderedDict()
+        self._good_buf: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def detection_matrix(
+        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+    ) -> np.ndarray:
+        """Boolean matrix ``(n_patterns, n_faults)``: entry ``[p, f]`` is
+        True iff pattern ``p`` detects fault ``f``."""
+        result = np.zeros((len(patterns), len(faults)), dtype=bool)
+        if not patterns or not faults:
+            return result
+        good = self._good_values(patterns)
+        column = 0
+        for batch in self._batches(faults):
+            detect = self._plan(batch).detect_words(good)
+            bits = np.unpackbits(
+                np.ascontiguousarray(detect).view(np.uint8).reshape(len(batch), -1),
+                axis=1,
+                bitorder="little",
+            )
+            result[:, column : column + len(batch)] = (
+                bits[:, : len(patterns)].astype(bool).T
+            )
+            column += len(batch)
+        return result
+
+    def detected(
+        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+    ) -> list[bool]:
+        """Per-fault flag: does *any* pattern detect the fault?
+
+        Scans patterns window by window with fault dropping: a fault
+        detected in an early window leaves the active set and never
+        simulates the rest of the pattern set.
+        """
+        flags = [False] * len(faults)
+        for fault_index, _ in self._scan_detections(patterns, faults):
+            flags[fault_index] = True
+        return flags
+
+    def first_detection_index(
+        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+    ) -> list[int | None]:
+        """For each fault, the index of the first detecting pattern
+        (``None`` if undetected).  Used for test-set trimming."""
+        indices: list[int | None] = [None] * len(faults)
+        for fault_index, position in self._scan_detections(patterns, faults):
+            indices[fault_index] = position
+        return indices
+
+    def fault_coverage(
+        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+    ) -> float:
+        """Fraction of ``faults`` detected by ``patterns`` (0..1)."""
+        if not faults:
+            return 1.0
+        flags = self.detected(patterns, faults)
+        return sum(flags) / len(faults)
+
+    def detection_matrix_rows(
+        self,
+        pattern_sets: Iterable[Sequence[BitVector]],
+        faults: Sequence[Fault],
+    ) -> Iterator[np.ndarray]:
+        """Stream Detection Matrix rows: one boolean ``(n_faults,)`` row
+        per pattern set, ``row[f]`` True iff some pattern detects fault
+        ``f``.
+
+        The fault batching is fixed up front, so every row reuses the
+        same cached cone-union schedules; each row's fault-free values
+        are simulated exactly once.
+        """
+        faults = list(faults)
+        batches = list(self._batches(faults))
+        plans = [self._plan(batch) for batch in batches]
+        for patterns in pattern_sets:
+            row = np.zeros(len(faults), dtype=bool)
+            if patterns and faults:
+                good = self._good_values(patterns)
+                mask = tail_mask(len(patterns))
+                column = 0
+                for batch, plan in zip(batches, plans):
+                    detect = plan.detect_words(good)
+                    row[column : column + len(batch)] = np.any(
+                        detect & mask, axis=1
+                    )
+                    column += len(batch)
+            yield row
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _good_values(self, patterns: Sequence[BitVector]) -> np.ndarray:
+        input_words = pack_patterns(list(patterns), self.compiled.n_inputs)
+        n_words = input_words.shape[1]
+        if self._good_buf is None or self._good_buf.shape[1] != n_words:
+            self._good_buf = np.empty(
+                (self.compiled.n_nodes, n_words), dtype=np.uint64
+            )
+        return self.compiled.simulate_words(input_words, out=self._good_buf)
+
+    def _batches(self, faults: Sequence[Fault]) -> Iterator[tuple[Fault, ...]]:
+        for start in range(0, len(faults), self.batch_size):
+            yield tuple(faults[start : start + self.batch_size])
+
+    def _cone(self, node_id: int) -> list[int]:
+        cone = self._cone_cache.get(node_id)
+        if cone is None:
+            cone = self.compiled.output_cone_ids(node_id)
+            self._cone_cache[node_id] = cone
+        return cone
+
+    def _plan(self, faults: tuple[Fault, ...]) -> _BatchPlan:
+        plan = self._plan_cache.get(faults)
+        if plan is None:
+            plan = _BatchPlan(self.compiled, faults, cone_of=self._cone)
+            self._plan_cache[faults] = plan
+            while len(self._plan_cache) > PLAN_CACHE_SIZE:
+                self._plan_cache.popitem(last=False)
+        else:
+            self._plan_cache.move_to_end(faults)
+        return plan
+
+    def _scan_detections(
+        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+    ) -> Iterator[tuple[int, int]]:
+        """Yield ``(fault index, first detecting pattern index)`` pairs,
+        scanning word windows in order with fault dropping."""
+        if not patterns or not faults:
+            return
+        good = self._good_values(patterns)
+        n_words = good.shape[1]
+        mask = tail_mask(len(patterns))
+        active = list(range(len(faults)))
+        for word_start in range(0, n_words, self.drop_window_words):
+            if not active:
+                return
+            word_end = min(word_start + self.drop_window_words, n_words)
+            window = np.ascontiguousarray(good[:, word_start:word_end])
+            window_mask = mask[word_start:word_end]
+            survivors: list[int] = []
+            for start in range(0, len(active), self.batch_size):
+                batch_indices = active[start : start + self.batch_size]
+                batch = tuple(faults[i] for i in batch_indices)
+                detect = self._plan(batch).detect_words(window) & window_mask
+                hits = detect.any(axis=1)
+                for row, fault_index in enumerate(batch_indices):
+                    if not hits[row]:
+                        survivors.append(fault_index)
+                        continue
+                    words = detect[row]
+                    word_offset = int(np.flatnonzero(words)[0])
+                    word = int(words[word_offset])
+                    yield fault_index, (
+                        (word_start + word_offset) * 64
+                        + (word & -word).bit_length()
+                        - 1
+                    )
+            active = survivors
+
+
+# ----------------------------------------------------------------------
+# opt-in multiprocessing path (row-parallel Detection Matrix rows)
+# ----------------------------------------------------------------------
+
+_worker_simulator: BatchFaultSimulator | None = None
+_worker_faults: list[Fault] = []
+
+
+def _init_worker(circuit: Circuit, faults: list[Fault], batch_size: int) -> None:
+    global _worker_simulator, _worker_faults
+    _worker_simulator = BatchFaultSimulator(circuit, batch_size=batch_size)
+    _worker_faults = faults
+
+
+def _worker_rows(job: tuple[int, list[list[int]], int]) -> tuple[int, np.ndarray]:
+    start, pattern_values, width = job
+    assert _worker_simulator is not None, "worker pool not initialised"
+    pattern_sets = [
+        [BitVector(value, width) for value in values] for values in pattern_values
+    ]
+    rows = list(
+        _worker_simulator.detection_matrix_rows(pattern_sets, _worker_faults)
+    )
+    stacked = (
+        np.array(rows, dtype=bool)
+        if rows
+        else np.zeros((0, len(_worker_faults)), dtype=bool)
+    )
+    return start, stacked
+
+
+def parallel_detection_rows(
+    circuit: Circuit,
+    pattern_sets: Sequence[Sequence[BitVector]],
+    faults: Sequence[Fault],
+    workers: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> np.ndarray:
+    """Build ``(n_rows, n_faults)`` any-pattern detection rows with a
+    process pool: rows are independent, so they shard cleanly.
+
+    Each worker compiles the circuit once (pool initializer) and streams
+    its row chunk through :meth:`BatchFaultSimulator.detection_matrix_rows`.
+    Patterns cross the process boundary as plain integers to keep pickling
+    cheap.  Row order (and every entry) is identical to the serial path.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    n_rows = len(pattern_sets)
+    matrix = np.zeros((n_rows, len(faults)), dtype=bool)
+    if n_rows == 0 or not faults:
+        return matrix
+    if workers == 1:
+        simulator = BatchFaultSimulator(circuit, batch_size=batch_size)
+        for row, values in enumerate(
+            simulator.detection_matrix_rows(pattern_sets, faults)
+        ):
+            matrix[row] = values
+        return matrix
+    from concurrent.futures import ProcessPoolExecutor
+
+    width = circuit.n_inputs
+    chunk = max(1, -(-n_rows // (workers * 4)))
+    jobs: list[tuple[int, list[list[int]], int]] = []
+    for start in range(0, n_rows, chunk):
+        values = [
+            [pattern.value for pattern in patterns]
+            for patterns in pattern_sets[start : start + chunk]
+        ]
+        jobs.append((start, values, width))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(circuit, list(faults), batch_size),
+    ) as pool:
+        for start, rows in pool.map(_worker_rows, jobs):
+            matrix[start : start + rows.shape[0]] = rows
+    return matrix

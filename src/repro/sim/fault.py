@@ -1,13 +1,29 @@
-"""Parallel-pattern single-fault (PPSFP) stuck-at fault simulation.
+"""Parallel-pattern stuck-at fault simulation.
 
-For each fault, the simulator forces the stuck value at the fault site
-and re-evaluates only the fault's output cone, 64 patterns per word.  A
-fault is detected by pattern ``p`` when any primary output differs from
-the fault-free value under ``p``.
+Two engines live here and in :mod:`repro.sim.batch`:
 
-This engine fills the paper's Detection Matrix: ``d[i][j] = 1`` iff
-triplet ``i``'s test set detects fault ``j`` (Section 3), and implements
-the fault grading inside ATPG, GATSBY and the trade-off explorer.
+* :class:`FaultSimulator` — the production engine, a thin compatibility
+  wrapper over :class:`repro.sim.batch.BatchFaultSimulator`.  Faults are
+  simulated in batches: the faulty values of every node a batch touches
+  are stacked along a fault axis into ``(batch, n_words)`` ``uint64``
+  arrays (64 patterns per word, pattern ``64*w + b`` in bit ``b`` of
+  word ``w``), and the whole batch propagates through one shared,
+  levelized cone-union schedule.  The any-pattern queries
+  (``detected`` / ``first_detection_index`` / ``fault_coverage``)
+  additionally apply **fault dropping**: the pattern set is scanned in
+  word-aligned windows and a fault detected in an early window leaves
+  the active set, so it never pays for the remaining patterns.
+* :class:`SerialFaultSimulator` — the legacy per-fault engine: for each
+  fault it forces the stuck value at the fault site and re-evaluates
+  only that fault's output cone, one Python-level gate evaluation per
+  cone node.  It is kept as the obviously-correct baseline for the
+  differential test suite and the throughput benchmarks.
+
+A fault is detected by pattern ``p`` when any primary output differs
+from the fault-free value under ``p``.  Both engines fill the paper's
+Detection Matrix: ``d[i][j] = 1`` iff triplet ``i``'s test set detects
+fault ``j`` (Section 3), and implement the fault grading inside ATPG,
+GATSBY and the trade-off explorer.
 """
 
 from __future__ import annotations
@@ -16,21 +32,35 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.circuit.gates import GateType, eval_gate_words
+from repro.circuit.gates import eval_gate_words
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
+from repro.sim.batch import BatchFaultSimulator
 from repro.sim.logic import CompiledCircuit, tail_mask
 from repro.utils.bitvec import BitVector, pack_patterns
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
-class FaultSimulator:
-    """Fault simulator bound to one circuit.
+class FaultSimulator(BatchFaultSimulator):
+    """The default fault simulator bound to one circuit.
+
+    A thin compatibility wrapper over
+    :class:`repro.sim.batch.BatchFaultSimulator` — every historical call
+    site (``detection_matrix`` / ``detected`` / ``first_detection_index``
+    / ``fault_coverage``) keeps its exact signature and semantics while
+    running on the batched engine.
+    """
+
+
+class SerialFaultSimulator:
+    """The legacy per-fault PPSFP engine (reference baseline).
 
     The compiled circuit and per-fault cone structures are cached, so
-    repeated calls (e.g. once per candidate triplet while building the
-    Detection Matrix) only pay for simulation.
+    repeated calls only pay for simulation.  Each fault walks its own
+    output cone with one Python-level gate evaluation per cone node —
+    simple and obviously correct, which is exactly what the differential
+    suite and the throughput benchmarks need it for.
     """
 
     def __init__(self, circuit: Circuit) -> None:

@@ -1,8 +1,15 @@
 """Bit-parallel true-value logic simulation.
 
 A :class:`CompiledCircuit` lowers the string-keyed :class:`Circuit` to
-integer arrays once; simulation then walks gates in topological order
-evaluating 64 patterns per ``uint64`` word with numpy bitwise ops.
+integer arrays once; simulation then evaluates 64 patterns per
+``uint64`` word with numpy bitwise ops.
+
+The compiler is *levelized*: gates are grouped by topological level and,
+within a level, by (gate type, fanin arity).  Each group is evaluated
+with a single fancy-indexed gather plus one reduction over the fanin
+axis (:func:`repro.circuit.gates.reduce_gate_words`), so simulation cost
+is a handful of numpy calls per level instead of one Python-level gate
+evaluation (and fanin list build) per node.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.circuit.gates import GateType, eval_gate_words
+from repro.circuit.gates import GateType, reduce_gate_words
 from repro.circuit.netlist import Circuit
 from repro.utils.bitvec import WORD_BITS, BitVector, pack_patterns, unpack_words
 
@@ -63,6 +70,44 @@ class CompiledCircuit:
             for fanin_id in fanins:
                 fanout[fanin_id].append(node_id)
         self.fanout_ids: list[tuple[int, ...]] = [tuple(f) for f in fanout]
+        # Topological levels: sources at 0, gates at 1 + max(fanin level).
+        levels = np.zeros(self.n_nodes, dtype=np.int64)
+        for node_id, fanins in enumerate(self.gate_fanins):
+            if fanins:
+                levels[node_id] = 1 + max(int(levels[f]) for f in fanins)
+        self.node_levels: np.ndarray = levels
+        self._build_eval_plan()
+
+    def _build_eval_plan(self) -> None:
+        """Group gates by (level, type, arity) into vectorised eval groups."""
+        const0: list[int] = []
+        const1: list[int] = []
+        grouped: dict[tuple[int, GateType, int], tuple[list[int], list[tuple[int, ...]]]] = {}
+        for node_id, gtype in enumerate(self.gate_types):
+            if gtype is GateType.INPUT:
+                continue
+            if gtype is GateType.CONST0:
+                const0.append(node_id)
+                continue
+            if gtype is GateType.CONST1:
+                const1.append(node_id)
+                continue
+            fanins = self.gate_fanins[node_id]
+            key = (int(self.node_levels[node_id]), gtype, len(fanins))
+            outs, fins = grouped.setdefault(key, ([], []))
+            outs.append(node_id)
+            fins.append(fanins)
+        self.const0_ids = np.array(const0, dtype=np.int64)
+        self.const1_ids = np.array(const1, dtype=np.int64)
+        #: Level-ordered eval groups: (gate type, output ids, fanin id matrix).
+        self.eval_groups: list[tuple[GateType, np.ndarray, np.ndarray]] = [
+            (
+                gtype,
+                np.array(grouped[(level, gtype, arity)][0], dtype=np.int64),
+                np.array(grouped[(level, gtype, arity)][1], dtype=np.int64),
+            )
+            for level, gtype, arity in sorted(grouped, key=lambda k: k[0])
+        ]
 
     @property
     def n_inputs(self) -> int:
@@ -74,31 +119,42 @@ class CompiledCircuit:
         """Number of primary outputs."""
         return len(self.output_ids)
 
-    def simulate_words(self, input_words: np.ndarray) -> np.ndarray:
+    def simulate_words(
+        self, input_words: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Simulate packed input words.
 
         ``input_words`` has shape ``(n_inputs, n_words)``; the result has
         shape ``(n_nodes, n_words)`` and holds every node's value words
-        (node id order).
+        (node id order).  ``out`` optionally supplies a preallocated
+        result buffer of the right shape (callers that simulate in a loop
+        reuse one buffer instead of reallocating per call).
         """
         if input_words.shape[0] != self.n_inputs:
             raise ValueError(
                 f"expected {self.n_inputs} input rows, got {input_words.shape[0]}"
             )
         n_words = input_words.shape[1]
-        values = np.zeros((self.n_nodes, n_words), dtype=np.uint64)
+        if out is not None:
+            if out.shape != (self.n_nodes, n_words) or out.dtype != np.uint64:
+                raise ValueError(
+                    f"out buffer must be uint64 {(self.n_nodes, n_words)}, "
+                    f"got {out.dtype} {out.shape}"
+                )
+            values = out
+        else:
+            values = np.empty((self.n_nodes, n_words), dtype=np.uint64)
         values[self.input_ids, :] = input_words
-        for node_id in range(self.n_nodes):
-            gtype = self.gate_types[node_id]
-            if gtype is GateType.INPUT:
-                continue
-            if gtype is GateType.CONST0:
-                continue  # already zeros
-            if gtype is GateType.CONST1:
-                values[node_id, :] = _ALL_ONES
-                continue
-            fanins = [values[f] for f in self.gate_fanins[node_id]]
-            values[node_id, :] = eval_gate_words(gtype, fanins)
+        if self.const0_ids.size:
+            values[self.const0_ids, :] = 0
+        if self.const1_ids.size:
+            values[self.const1_ids, :] = _ALL_ONES
+        for gtype, out_ids, fanin_matrix in self.eval_groups:
+            # Gather shape: (group size, arity, n_words); reduce the
+            # fanin axis with the group's gate function.
+            values[out_ids, :] = reduce_gate_words(
+                gtype, values[fanin_matrix], axis=1
+            )
         return values
 
     def simulate_patterns(self, patterns: Sequence[BitVector]) -> list[BitVector]:

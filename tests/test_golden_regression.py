@@ -1,0 +1,86 @@
+"""Golden regression pins for the fault-simulation stack.
+
+These constants were produced by the engines at the seed RNG and are
+intentionally hard-coded: any future "optimization" that silently
+changes fault coverage, detection counts, or Detection Matrix contents
+for the catalog circuits fails here first.  If a change is *supposed*
+to alter results (e.g. a new fault model), regenerate the constants and
+say so in the commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.faults.model import full_fault_list
+from repro.sim.fault import FaultSimulator, SerialFaultSimulator
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+N_GOLDEN_PATTERNS = 128
+GOLDEN_SEED = 2001
+
+
+@dataclass(frozen=True)
+class GoldenStats:
+    """Pinned per-circuit results at the seed RNG."""
+
+    n_faults: int
+    n_detected: int
+    matrix_ones: int
+
+
+GOLDEN: dict[str, GoldenStats] = {
+    "c499": GoldenStats(n_faults=1198, n_detected=920, matrix_ones=29524),
+    "c880": GoldenStats(n_faults=2282, n_detected=1679, matrix_ones=56070),
+    "s420": GoldenStats(n_faults=1316, n_detected=439, matrix_ones=16918),
+}
+
+
+def _golden_workload(name: str):
+    circuit = load_circuit(name)
+    faults = full_fault_list(circuit)
+    rng = RngStream(GOLDEN_SEED, "golden", name)
+    patterns = [
+        BitVector.random(circuit.n_inputs, rng) for _ in range(N_GOLDEN_PATTERNS)
+    ]
+    return circuit, faults, patterns
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_detection_matrix_pinned(name):
+    circuit, faults, patterns = _golden_workload(name)
+    expected = GOLDEN[name]
+    assert len(faults) == expected.n_faults
+    simulator = FaultSimulator(circuit)
+    matrix = simulator.detection_matrix(patterns, faults)
+    assert matrix.shape == (N_GOLDEN_PATTERNS, expected.n_faults)
+    assert int(matrix.sum()) == expected.matrix_ones
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_fault_coverage_pinned(name):
+    circuit, faults, patterns = _golden_workload(name)
+    expected = GOLDEN[name]
+    simulator = FaultSimulator(circuit)
+    flags = simulator.detected(patterns, faults)
+    assert sum(flags) == expected.n_detected
+    assert simulator.fault_coverage(patterns, faults) == pytest.approx(
+        expected.n_detected / expected.n_faults
+    )
+
+
+@pytest.mark.slow
+def test_serial_engine_agrees_with_golden_c499():
+    """The legacy baseline reproduces the same pinned numbers — the pins
+    are engine-independent facts about the circuits, not batch-engine
+    artefacts."""
+    circuit, faults, patterns = _golden_workload("c499")
+    expected = GOLDEN["c499"]
+    simulator = SerialFaultSimulator(circuit)
+    assert sum(simulator.detected(patterns, faults)) == expected.n_detected
+    matrix = simulator.detection_matrix(patterns, faults)
+    assert int(matrix.sum()) == expected.matrix_ones

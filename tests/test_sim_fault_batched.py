@@ -1,0 +1,243 @@
+"""Differential tests: the batched engine must match the legacy
+per-fault engine bit-for-bit.
+
+:class:`BatchFaultSimulator` re-architects the hottest path in the repo
+(shared cone-union schedules, fault-axis stacking, fault dropping), so
+every public query is cross-checked against
+:class:`SerialFaultSimulator` over random circuits, random batch sizes
+(including degenerate ones), branch vs. stem fault sites, and pattern
+counts straddling the 64-bit word boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.generate import GeneratorSpec, generate_circuit
+from repro.faults.model import Fault, full_fault_list
+from repro.sim.batch import BatchFaultSimulator
+from repro.sim.fault import FaultSimulator, SerialFaultSimulator
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+BATCH_SIZES = (1, 7, 64)
+
+
+def _random_patterns(circuit, n_patterns: int, seed: int) -> list[BitVector]:
+    rng = RngStream(seed, "batched-diff", circuit.name)
+    return [BitVector.random(circuit.n_inputs, rng) for _ in range(n_patterns)]
+
+
+def _assert_engines_match(circuit, patterns, faults, batch_size, drop_window_words=8):
+    batched = BatchFaultSimulator(
+        circuit, batch_size=batch_size, drop_window_words=drop_window_words
+    )
+    serial = SerialFaultSimulator(circuit)
+    np.testing.assert_array_equal(
+        batched.detection_matrix(patterns, faults),
+        serial.detection_matrix(patterns, faults),
+    )
+    assert batched.detected(patterns, faults) == serial.detected(patterns, faults)
+    assert batched.first_detection_index(patterns, faults) == (
+        serial.first_detection_index(patterns, faults)
+    )
+
+
+@st.composite
+def random_circuits(draw):
+    seed = draw(st.integers(0, 10_000))
+    spec = GeneratorSpec(
+        name=f"hyp{seed}",
+        n_inputs=draw(st.integers(3, 6)),
+        n_outputs=draw(st.integers(1, 3)),
+        n_gates=draw(st.integers(4, 18)),
+        seed=seed,
+    )
+    return generate_circuit(spec)
+
+
+class TestDifferentialFixedCircuits:
+    @pytest.mark.parametrize("circuit_name", ["c17", "s27_scan", "mux_circuit"])
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_all_queries_match(self, circuit_name, batch_size, request):
+        circuit = request.getfixturevalue(circuit_name)
+        faults = full_fault_list(circuit)
+        patterns = _random_patterns(circuit, 100, seed=1)
+        _assert_engines_match(circuit, patterns, faults, batch_size)
+
+    def test_batch_larger_than_fault_list(self, c17):
+        faults = full_fault_list(c17)
+        patterns = _random_patterns(c17, 40, seed=2)
+        _assert_engines_match(c17, patterns, faults, batch_size=len(faults) + 5)
+
+    def test_branch_vs_stem_sites(self, c17):
+        """Net 3 fans out to gates 11 and 16: its stem fault and each
+        branch fault must agree with the serial engine individually and
+        when mixed in one batch."""
+        stem = Fault.stem("3", 0)
+        branches = [Fault.branch("3", "11", 0, 0), Fault.branch("3", "16", 1, 0)]
+        patterns = [BitVector(v, 5) for v in range(32)]
+        for faults in ([stem], branches, [stem, *branches]):
+            _assert_engines_match(c17, patterns, faults, batch_size=2)
+
+    def test_input_doubling_as_output(self):
+        """A PI that is also a PO has an empty cone but is directly
+        observable — the forced site row alone must carry detection."""
+        from repro.circuit.gates import GateType
+        from repro.circuit.netlist import Circuit, Gate
+
+        circuit = Circuit(
+            "pipo", ["a", "b"], ["a", "y"], [Gate("y", GateType.AND, ("a", "b"))]
+        )
+        faults = full_fault_list(circuit)
+        patterns = [BitVector(v, 2) for v in range(4)] * 20
+        _assert_engines_match(circuit, patterns, faults, batch_size=3)
+
+    def test_single_word_drop_window(self, s27_scan):
+        """drop_window_words=1 forces the fault-dropping scan to cross
+        every word boundary; indices must still match exactly."""
+        faults = full_fault_list(s27_scan)
+        patterns = _random_patterns(s27_scan, 130, seed=3)
+        _assert_engines_match(
+            s27_scan, patterns, faults, batch_size=5, drop_window_words=1
+        )
+
+
+class TestEdgeCases:
+    """0 patterns, 0 faults, and exact word-boundary pattern counts."""
+
+    @pytest.mark.parametrize("engine", [FaultSimulator, SerialFaultSimulator])
+    def test_zero_patterns(self, c17, engine):
+        simulator = engine(c17)
+        faults = full_fault_list(c17)
+        assert simulator.detection_matrix([], faults).shape == (0, len(faults))
+        assert simulator.detected([], faults) == [False] * len(faults)
+        assert simulator.first_detection_index([], faults) == [None] * len(faults)
+
+    @pytest.mark.parametrize("engine", [FaultSimulator, SerialFaultSimulator])
+    def test_zero_faults(self, c17, engine):
+        simulator = engine(c17)
+        patterns = [BitVector(v, 5) for v in range(5)]
+        assert simulator.detection_matrix(patterns, []).shape == (5, 0)
+        assert simulator.detected(patterns, []) == []
+        assert simulator.first_detection_index(patterns, []) == []
+        assert simulator.fault_coverage(patterns, []) == 1.0
+
+    def test_zero_patterns_and_zero_faults(self, c17):
+        simulator = FaultSimulator(c17)
+        assert simulator.detection_matrix([], []).shape == (0, 0)
+
+    @pytest.mark.parametrize("n_patterns", [63, 64, 65, 128, 129])
+    def test_word_boundary_pattern_counts(self, c17, n_patterns):
+        faults = full_fault_list(c17)
+        patterns = _random_patterns(c17, n_patterns, seed=n_patterns)
+        _assert_engines_match(c17, patterns, faults, batch_size=8)
+
+    def test_last_pattern_detection_at_boundary(self, tiny_and):
+        """Only the final pattern (index 64, first bit of word 2)
+        detects: the index must survive the word crossing."""
+        patterns = [BitVector.zeros(2)] * 64 + [BitVector.ones(2)]
+        fault = Fault.stem("y", 0)
+        simulator = BatchFaultSimulator(tiny_and, drop_window_words=1)
+        assert simulator.first_detection_index(patterns, [fault]) == [64]
+
+
+class TestDetectionMatrixRows:
+    def test_rows_match_detected(self, c17):
+        simulator = FaultSimulator(c17)
+        faults = full_fault_list(c17)
+        pattern_sets = [
+            _random_patterns(c17, n, seed=10 + n) for n in (0, 1, 5, 70)
+        ]
+        rows = list(simulator.detection_matrix_rows(pattern_sets, faults))
+        assert len(rows) == len(pattern_sets)
+        serial = SerialFaultSimulator(c17)
+        for row, patterns in zip(rows, pattern_sets):
+            assert row.tolist() == serial.detected(patterns, faults)
+
+    def test_rows_with_no_faults(self, c17):
+        simulator = FaultSimulator(c17)
+        rows = list(
+            simulator.detection_matrix_rows([[BitVector(1, 5)]], [])
+        )
+        assert len(rows) == 1 and rows[0].shape == (0,)
+
+    def test_parallel_rows_match_serial(self, c17):
+        from repro.sim.batch import parallel_detection_rows
+
+        faults = full_fault_list(c17)
+        pattern_sets = [_random_patterns(c17, n, seed=n) for n in (3, 0, 9, 17)]
+        serial = SerialFaultSimulator(c17)
+        expected = np.array(
+            [serial.detected(patterns, faults) for patterns in pattern_sets]
+        )
+        for workers in (1, 2):
+            result = parallel_detection_rows(
+                c17, pattern_sets, faults, workers=workers
+            )
+            np.testing.assert_array_equal(result, expected)
+
+    def test_parallel_rows_rejects_bad_worker_count(self, c17):
+        from repro.sim.batch import parallel_detection_rows
+
+        with pytest.raises(ValueError, match="workers"):
+            parallel_detection_rows(c17, [], full_fault_list(c17), workers=0)
+
+
+class TestPropertyDifferential:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        circuit=random_circuits(),
+        n_patterns=st.integers(0, 70),
+        batch_size=st.sampled_from(BATCH_SIZES),
+        seed=st.integers(0, 1000),
+    )
+    def test_small_random_circuits(self, circuit, n_patterns, batch_size, seed):
+        faults = full_fault_list(circuit)
+        patterns = _random_patterns(circuit, n_patterns, seed)
+        _assert_engines_match(circuit, patterns, faults, batch_size)
+
+    @pytest.mark.slow
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        circuit=random_circuits(),
+        n_patterns=st.integers(0, 200),
+        batch_size=st.integers(1, 80),
+        drop_window_words=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    def test_exhaustive_engine_equivalence(
+        self, circuit, n_patterns, batch_size, drop_window_words, seed
+    ):
+        faults = full_fault_list(circuit)
+        patterns = _random_patterns(circuit, n_patterns, seed)
+        _assert_engines_match(
+            circuit, patterns, faults, batch_size, drop_window_words
+        )
+
+    @pytest.mark.slow
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500), n_patterns=st.integers(64, 140))
+    def test_larger_generated_circuits(self, seed, n_patterns):
+        spec = GeneratorSpec(
+            name=f"hypbig{seed}",
+            n_inputs=8,
+            n_outputs=4,
+            n_gates=60,
+            seed=seed,
+        )
+        circuit = generate_circuit(spec)
+        faults = full_fault_list(circuit)
+        patterns = _random_patterns(circuit, n_patterns, seed)
+        _assert_engines_match(circuit, patterns, faults, batch_size=16)

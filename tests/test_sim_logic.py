@@ -124,3 +124,64 @@ class TestHelpers:
         mask = tail_mask(70)
         assert len(mask) == 2
         assert int(mask[1]) == 0b111111
+
+    def test_tail_mask_zero_patterns(self):
+        mask = tail_mask(0)
+        assert mask.shape == (0,)
+        assert mask.dtype == np.uint64
+
+    def test_tail_mask_word_boundaries(self):
+        # 64 patterns fill word 0 exactly; 65 spill a single bit into
+        # word 1 — the classic off-by-one sites.
+        assert int(tail_mask(64)[-1]) == (1 << 64) - 1
+        mask65 = tail_mask(65)
+        assert len(mask65) == 2
+        assert int(mask65[1]) == 1
+        assert int(tail_mask(128)[-1]) == (1 << 64) - 1
+        assert int(tail_mask(129)[-1]) == 1
+
+    def test_simulate_words_out_buffer_reuse(self, c17):
+        compiled = CompiledCircuit(c17)
+        words = np.ones((5, 2), dtype=np.uint64)
+        buffer = np.zeros((compiled.n_nodes, 2), dtype=np.uint64)
+        result = compiled.simulate_words(words, out=buffer)
+        assert result is buffer
+        np.testing.assert_array_equal(result, compiled.simulate_words(words))
+
+    def test_simulate_words_out_buffer_shape_checked(self, c17):
+        compiled = CompiledCircuit(c17)
+        words = np.zeros((5, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="out buffer"):
+            compiled.simulate_words(words, out=np.zeros((1, 1), dtype=np.uint64))
+
+
+class TestLevelization:
+    def test_levels_increase_along_fanin(self, c17):
+        compiled = CompiledCircuit(c17)
+        for node_id, fanins in enumerate(compiled.gate_fanins):
+            for fanin_id in fanins:
+                assert compiled.node_levels[node_id] > compiled.node_levels[fanin_id]
+
+    def test_sources_at_level_zero(self, c17):
+        compiled = CompiledCircuit(c17)
+        assert all(compiled.node_levels[i] == 0 for i in compiled.input_ids)
+
+    def test_eval_groups_cover_all_gates(self, mux_circuit):
+        compiled = CompiledCircuit(mux_circuit)
+        grouped = sorted(
+            int(node) for _, out_ids, _ in compiled.eval_groups for node in out_ids
+        )
+        gates = sorted(
+            node_id
+            for node_id, gtype in enumerate(compiled.gate_types)
+            if gtype not in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+        )
+        assert grouped == gates
+
+    def test_eval_groups_level_ordered(self, c17):
+        compiled = CompiledCircuit(c17)
+        levels = [
+            int(compiled.node_levels[out_ids[0]])
+            for _, out_ids, _ in compiled.eval_groups
+        ]
+        assert levels == sorted(levels)
