@@ -8,7 +8,6 @@ global test length grows.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.flow.tradeoff import explore_tradeoff
 

@@ -16,6 +16,15 @@ Typical use::
     result = ReseedingPipeline(circuit, "adder", PipelineConfig()).run()
     print(result.summary())
 
+Batch use — shared circuit-level artefacts, on-disk artifact cache and
+a circuits x TPGs x configs orchestrator::
+
+    from repro import Session, sweep
+
+    session = Session.from_name("s1238", scale=0.5, cache=".repro-cache")
+    result = session.run("adder")          # warm re-runs skip ATPG
+    grid = sweep(["c880", "s1238"], ["adder", "multiplier"], workers=4)
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
@@ -35,12 +44,24 @@ from repro.reseeding import (
 )
 from repro.setcover import CoverMatrix, reduce_matrix, solve_cover
 from repro.gatsby import GatsbyReseeder
-from repro.flow import PipelineConfig, ReseedingPipeline, explore_tradeoff
-from repro.utils import BitVector, RngStream
+from repro.flow import (
+    ArtifactCache,
+    PipelineConfig,
+    PipelineResult,
+    ReseedingPipeline,
+    Session,
+    Stage,
+    StageContext,
+    explore_tradeoff,
+    run_flow,
+    sweep,
+)
+from repro.utils import BitVector, Registry, RngStream, UnknownComponentError
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "AtpgEngine",
     "BatchFaultSimulator",
     "BitVector",
@@ -57,12 +78,18 @@ __all__ = [
     "InitialReseedingBuilder",
     "PAPER_CIRCUITS",
     "PipelineConfig",
+    "PipelineResult",
     "Podem",
+    "Registry",
     "ReseedingPipeline",
     "ReseedingSolution",
     "RngStream",
+    "Session",
+    "Stage",
+    "StageContext",
     "TestPatternGenerator",
     "Triplet",
+    "UnknownComponentError",
     "collapse_faults",
     "explore_tradeoff",
     "full_fault_list",
@@ -70,7 +97,9 @@ __all__ = [
     "make_tpg",
     "parse_bench",
     "reduce_matrix",
+    "run_flow",
     "solve_cover",
+    "sweep",
     "trim_solution",
     "write_bench",
 ]

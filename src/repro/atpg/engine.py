@@ -11,14 +11,14 @@ reported separately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.atpg.compaction import reverse_order_compaction
 from repro.atpg.podem import Podem, PodemStatus
 from repro.atpg.random_gen import random_phase
 from repro.circuit.netlist import Circuit
 from repro.faults.collapse import collapse_faults
-from repro.faults.model import Fault, full_fault_list
+from repro.faults.model import Fault
 from repro.sim.batch import BatchFaultSimulator
 from repro.sim.fault import FaultSimulator
 from repro.utils.bitvec import BitVector
@@ -68,6 +68,19 @@ class AtpgResult:
             f"|F|={len(self.target_faults)} "
             f"untestable={len(self.untestable)} aborted={len(self.aborted)}"
         )
+
+    def to_dict(self) -> dict:
+        """Schema-versioned plain-dict form (the artifact-cache format)."""
+        from repro.flow.serialize import atpg_result_to_dict
+
+        return atpg_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AtpgResult":
+        """Inverse of :meth:`to_dict`; raises on schema mismatch."""
+        from repro.flow.serialize import atpg_result_from_dict
+
+        return atpg_result_from_dict(data)
 
 
 class AtpgEngine:

@@ -19,7 +19,7 @@ The generator guarantees structural well-formedness by construction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit, Gate

@@ -8,7 +8,7 @@ simulation speed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.circuit.gates import GateType

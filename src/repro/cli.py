@@ -2,9 +2,14 @@
 
 Subcommands:
 
-* ``catalog`` — list the benchmark circuits and their statistics;
-* ``run``     — execute the full reseeding pipeline for one circuit/TPG
-  and print the per-triplet report;
+* ``catalog`` — list the benchmark circuits and their statistics
+  (``--json`` for machine-readable output);
+* ``run``     — execute the full reseeding flow for one circuit/TPG and
+  print the per-triplet report (``--json`` for the schema-versioned
+  result document);
+* ``sweep``   — run the circuits x TPGs x configs grid through the
+  :func:`repro.flow.sweep.sweep` orchestrator, with optional artifact
+  cache and process pool;
 * ``atpg``    — run the ATPG substrate alone;
 * ``table1`` / ``table2`` / ``figure2`` — the experiment drivers
   (equivalent to ``python -m repro.experiments.<name>``).
@@ -13,6 +18,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.circuits import CATALOG, load_circuit
@@ -20,6 +26,21 @@ from repro.utils.tables import AsciiTable
 
 
 def _cmd_catalog(args: argparse.Namespace) -> int:
+    if args.json:
+        entries = [
+            {
+                "name": entry.name,
+                "inputs": entry.n_inputs,
+                "outputs": entry.n_outputs,
+                "dffs": entry.n_dffs,
+                "gates": entry.n_gates,
+                "sequential": entry.is_sequential,
+                "embedded": entry.embedded,
+            }
+            for entry in CATALOG.values()
+        ]
+        print(json.dumps(entries, indent=2))
+        return 0
     table = AsciiTable(
         ["name", "PI", "PO", "FF", "gates", "kind", "source"],
         title="Benchmark catalog (ISCAS'85 / ISCAS'89 size classes)",
@@ -40,22 +61,46 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.flow.pipeline import PipelineConfig, ReseedingPipeline
-    from repro.flow.report import solution_report
-    from repro.reseeding.uniform import storage_comparison, uniformize_solution
+def _pipeline_config_from_args(args: argparse.Namespace):
+    from repro.flow.pipeline import PipelineConfig
 
-    circuit = load_circuit(args.circuit, scale=args.scale)
-    config = PipelineConfig(
+    return PipelineConfig(
         seed=args.seed,
         evolution_length=args.evolution_length,
         cover_method=args.method,
+        max_random_patterns=args.max_random_patterns,
+        backtrack_limit=args.backtrack_limit,
+        grasp_iterations=args.grasp_iterations,
+        matrix_workers=args.workers,
     )
-    result = ReseedingPipeline(circuit, args.tpg, config).run()
-    print(solution_report(result))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.flow.report import solution_report
+    from repro.flow.session import Session
+    from repro.reseeding.uniform import storage_comparison, uniformize_solution
+
+    config = _pipeline_config_from_args(args)
+    session = Session.from_name(
+        args.circuit, scale=args.scale, config=config, cache=args.cache
+    )
+    result = session.run(args.tpg)
     if args.uniform:
         uniform = uniformize_solution(result.trimmed)
         comparison = storage_comparison(result.trimmed, uniform)
+    if args.json:
+        payload = result.to_dict()
+        if args.uniform:
+            # Extra top-level key; from_dict ignores it, so the document
+            # still round-trips as a pipeline_result.
+            payload["uniform"] = {
+                "shared_length": uniform.shared_length,
+                **comparison,
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(solution_report(result))
+    if args.uniform:
         print(
             "\nuniform-T refinement: shared T = "
             f"{uniform.shared_length}, ROM "
@@ -63,6 +108,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"test length {comparison['variable_t_test_length']} -> "
             f"{comparison['uniform_t_test_length']}"
         )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.flow.pipeline import PipelineConfig
+    from repro.flow.session import ArtifactCache
+    from repro.flow.sweep import sweep
+
+    base = PipelineConfig(
+        seed=args.seed,
+        cover_method=args.method,
+        max_random_patterns=args.max_random_patterns,
+        backtrack_limit=args.backtrack_limit,
+        grasp_iterations=args.grasp_iterations,
+    )
+    cache = ArtifactCache(args.cache) if args.cache else None
+    grid = sweep(
+        args.circuits,
+        args.tpgs,
+        base_config=base,
+        evolution_lengths=args.evolution_lengths,
+        scale=args.scale,
+        cache=cache,
+        workers=args.workers,
+    )
+    if args.json:
+        document = {
+            "circuits": args.circuits,
+            "tpgs": args.tpgs,
+            "evolution_lengths": args.evolution_lengths,
+            "scale": args.scale,
+            "seed": args.seed,
+            "cells": [
+                {
+                    "circuit": o.circuit,
+                    "tpg": o.tpg,
+                    "evolution_length": o.config.evolution_length,
+                    "n_triplets": o.result.n_triplets,
+                    "test_length": o.result.test_length,
+                    "n_necessary": o.result.n_necessary,
+                    "n_from_solver": o.result.n_from_solver,
+                    "from_cache": o.from_cache,
+                    "seconds": round(o.seconds, 4),
+                }
+                for o in grid
+            ],
+            "cache": cache.stats() if cache else None,
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    table = AsciiTable(
+        ["circuit", "TPG", "T", "#Triplets", "TestLength", "cached", "seconds"],
+        title="Sweep: circuits x TPGs x configs",
+    )
+    for outcome in grid:
+        table.add_row(
+            [
+                outcome.circuit,
+                outcome.tpg,
+                outcome.config.evolution_length,
+                outcome.result.n_triplets,
+                outcome.result.test_length,
+                "yes" if outcome.from_cache else "-",
+                f"{outcome.seconds:.2f}",
+            ]
+        )
+    print(table.render_csv() if args.csv else table.render())
+    print(f"\n{grid.n_cached}/{len(grid)} cells served from the artifact cache")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses")
     return 0
 
 
@@ -87,6 +203,54 @@ def _delegate(module_main):
     return runner
 
 
+def _add_flow_knobs(parser: argparse.ArgumentParser) -> None:
+    """Knobs shared by ``run`` and ``sweep`` (the PipelineConfig surface)."""
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=2001)
+    parser.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "ilp", "bnb", "grasp", "greedy"],
+        help="covering solver",
+    )
+    parser.add_argument(
+        "--max-random-patterns",
+        type=int,
+        default=4096,
+        help="ATPG random-phase pattern budget (default 4096)",
+    )
+    parser.add_argument(
+        "--backtrack-limit",
+        type=int,
+        default=250,
+        help="PODEM backtrack limit per fault (default 250)",
+    )
+    parser.add_argument(
+        "--grasp-iterations",
+        type=int,
+        default=30,
+        help="GRASP restarts when the metaheuristic solver runs (default 30)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (Detection Matrix rows for `run`, "
+        "circuits for `sweep`; default serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory: warm runs skip ATPG and matrices",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the report/table",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -95,26 +259,46 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     catalog = sub.add_parser("catalog", help="list benchmark circuits")
+    catalog.add_argument(
+        "--json", action="store_true", help="emit the catalog as JSON"
+    )
     catalog.set_defaults(func=_cmd_catalog)
 
-    run = sub.add_parser("run", help="run the reseeding pipeline")
+    run = sub.add_parser("run", help="run the reseeding flow")
     run.add_argument("--circuit", required=True)
     run.add_argument("--tpg", default="adder")
-    run.add_argument("--scale", type=float, default=0.25)
-    run.add_argument("--seed", type=int, default=2001)
     run.add_argument("--evolution-length", type=int, default=32)
-    run.add_argument(
-        "--method",
-        default="auto",
-        choices=["auto", "ilp", "bnb", "grasp", "greedy"],
-        help="covering solver",
-    )
+    _add_flow_knobs(run)
     run.add_argument(
         "--uniform",
         action="store_true",
         help="also report the uniform-T (shared length) refinement",
     )
     run.set_defaults(func=_cmd_run)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run a circuits x TPGs x configs grid"
+    )
+    sweep_cmd.add_argument("--circuits", nargs="+", required=True)
+    sweep_cmd.add_argument(
+        "--tpgs",
+        nargs="+",
+        default=["adder"],
+        help="TPG names (default: adder)",
+    )
+    sweep_cmd.add_argument(
+        "--evolution-lengths",
+        nargs="+",
+        type=int,
+        default=[32],
+        metavar="T",
+        help="one flow config per evolution length (default: 32)",
+    )
+    _add_flow_knobs(sweep_cmd)
+    sweep_cmd.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of an ASCII table"
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
 
     atpg = sub.add_parser("atpg", help="run the ATPG substrate alone")
     atpg.add_argument("--circuit", required=True)
@@ -147,6 +331,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Delegate experiment subcommands wholesale: argparse's REMAINDER no
+    # longer swallows unrecognised options after the subcommand name
+    # (python/cpython#61252), so route around the top-level parser.  The
+    # build_parser() stubs for these names exist for `repro -h` only.
+    if argv and argv[0] in ("table1", "table2", "figure2"):
+        from repro.experiments.figure2 import main as figure2_main
+        from repro.experiments.table1 import main as table1_main
+        from repro.experiments.table2 import main as table2_main
+
+        delegate = {
+            "table1": table1_main,
+            "table2": table2_main,
+            "figure2": figure2_main,
+        }[argv[0]]
+        delegate(argv[1:])
+        return 0
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

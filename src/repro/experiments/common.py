@@ -1,23 +1,24 @@
 """Shared infrastructure for the experiment drivers.
 
-A :class:`CircuitWorkspace` bundles the per-circuit artefacts every
-experiment needs — the loaded circuit, its compiled fault simulator and
-the (expensive) ATPG result — so the three TPG pipelines and the GATSBY
-baseline all share them, exactly as the paper's flow shares TestGen
-output across generators.
+The heavy lifting lives in the flow layer now: a
+:class:`~repro.flow.session.Session` owns the per-circuit artefacts
+(loaded circuit, compiled fault simulator, ATPG result) and
+:func:`~repro.flow.sweep.sweep` runs the circuits x TPGs grid over
+shared sessions.  This module keeps the experiment-level vocabulary —
+circuit subsets, the :class:`ExperimentConfig` knobs, the shared CLI —
+plus :class:`CircuitWorkspace`, the Session subclass the drivers and
+the GATSBY baseline use (the name survives from the pre-Session API).
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass, field
 
-from repro.atpg.engine import AtpgEngine, AtpgResult
-from repro.circuit.netlist import Circuit
-from repro.circuits import load_circuit
-from repro.flow.pipeline import PipelineConfig, PipelineResult, ReseedingPipeline
+from dataclasses import dataclass
+
+from repro.flow.pipeline import PipelineConfig, PipelineResult
+from repro.flow.session import ArtifactCache, Session
 from repro.gatsby import GaConfig, GatsbyReseeder, GatsbyResult
-from repro.sim.fault import FaultSimulator
 
 #: Default circuit subset: small-to-mid members of the paper's list so
 #: the drivers finish in minutes at the default scale.  ``--circuits``
@@ -68,6 +69,7 @@ class ExperimentConfig:
     max_random_patterns: int = 1024
     run_gatsby: bool = True
     matrix_workers: int | None = None
+    cache_dir: str | None = None
 
     def pipeline_config(self, evolution_length: int | None = None) -> PipelineConfig:
         """The equivalent flow configuration."""
@@ -79,39 +81,41 @@ class ExperimentConfig:
         )
 
 
-@dataclass
-class CircuitWorkspace:
-    """Cached per-circuit artefacts: circuit, simulator, ATPG result."""
+class CircuitWorkspace(Session):
+    """Cached per-circuit artefacts: circuit, simulator, ATPG result.
 
-    name: str
-    circuit: Circuit
-    simulator: FaultSimulator
-    atpg: AtpgResult
+    A :class:`~repro.flow.session.Session` under its historical name,
+    extended with the experiment-level conveniences (eager ATPG, the
+    GATSBY baseline with the paper's gate-count cutoff).
+    """
 
     @classmethod
-    def prepare(cls, name: str, config: ExperimentConfig) -> "CircuitWorkspace":
+    def prepare(
+        cls,
+        name: str,
+        config: ExperimentConfig,
+        cache: ArtifactCache | str | None = None,
+    ) -> "CircuitWorkspace":
         """Load (or synthesise) the circuit and run ATPG once."""
-        circuit = load_circuit(name, scale=config.scale)
-        engine = AtpgEngine(
-            circuit,
-            seed=config.seed,
-            max_random_patterns=config.max_random_patterns,
+        workspace = cls.from_name(
+            name,
+            scale=config.scale,
+            config=config.pipeline_config(),
+            cache=cache if cache is not None else config.cache_dir,
         )
-        atpg = engine.run()
-        return cls(name, circuit, engine.simulator, atpg)
+        workspace.atpg_result  # eager: every experiment needs it anyway
+        return workspace
+
+    @property
+    def atpg(self):
+        """The circuit-level ATPG artefact (pre-Session attribute name)."""
+        return self.atpg_result
 
     def run_pipeline(
         self, tpg_name: str, config: ExperimentConfig, evolution_length: int | None = None
     ) -> PipelineResult:
         """The set-covering flow for one TPG, reusing cached artefacts."""
-        pipeline = ReseedingPipeline(
-            self.circuit,
-            tpg_name,
-            config.pipeline_config(evolution_length),
-            atpg_result=self.atpg,
-            simulator=self.simulator,
-        )
-        return pipeline.run()
+        return self.run(tpg_name, config.pipeline_config(evolution_length))
 
     def run_gatsby(
         self, tpg_name: str, config: ExperimentConfig
@@ -135,6 +139,15 @@ class CircuitWorkspace:
         # ([7][8]); it never sees deterministic patterns.  This is what
         # makes the set-covering approach win on random-resistant faults.
         return reseeder.run(self.atpg.target_faults)
+
+
+def prepare_workspaces(
+    config: ExperimentConfig,
+) -> dict[str, CircuitWorkspace]:
+    """One eager workspace per configured circuit, in order."""
+    return {
+        name: CircuitWorkspace.prepare(name, config) for name in config.circuits
+    }
 
 
 def make_arg_parser(description: str) -> argparse.ArgumentParser:
@@ -177,6 +190,12 @@ def make_arg_parser(description: str) -> argparse.ArgumentParser:
         "(default: serial)",
     )
     parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory (warm runs skip ATPG and matrices)",
+    )
+    parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of an ASCII table"
     )
     return parser
@@ -197,4 +216,5 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         evolution_length=args.evolution_length,
         run_gatsby=not args.no_gatsby,
         matrix_workers=getattr(args, "workers", None),
+        cache_dir=getattr(args, "cache", None),
     )

@@ -14,7 +14,6 @@ from __future__ import annotations
 import argparse
 
 from repro.circuits import load_circuit
-from repro.experiments.common import ExperimentConfig
 from repro.flow.pipeline import PipelineConfig
 from repro.flow.tradeoff import TradeoffPoint, explore_tradeoff
 from repro.utils.tables import AsciiTable, render_series
@@ -29,11 +28,24 @@ def compute_figure2(
     lengths: tuple[int, ...] = DEFAULT_LENGTHS,
     scale: float = 0.25,
     seed: int = 2001,
+    cache: str | None = None,
 ) -> list[TradeoffPoint]:
-    """Regenerate Figure 2's sweep for one circuit/TPG."""
+    """Regenerate Figure 2's sweep for one circuit/TPG.
+
+    ``cache`` names an artifact-cache directory; warm re-runs then skip
+    ATPG (and any already-swept T points) entirely.
+    """
     circuit = load_circuit(circuit_name, scale=scale)
     config = PipelineConfig(seed=seed, max_random_patterns=1024)
-    return explore_tradeoff(circuit, tpg_name, list(lengths), config=config)
+    from repro.flow.session import ArtifactCache
+
+    return explore_tradeoff(
+        circuit,
+        tpg_name,
+        list(lengths),
+        config=config,
+        cache=ArtifactCache(cache) if cache else None,
+    )
 
 
 def render_figure2(points: list[TradeoffPoint]) -> str:
@@ -67,6 +79,12 @@ def main(argv: list[str] | None = None) -> None:
         default=list(DEFAULT_LENGTHS),
         help="evolution lengths to sweep",
     )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory (warm runs skip ATPG)",
+    )
     args = parser.parse_args(argv)
     points = compute_figure2(
         circuit_name=args.circuit,
@@ -74,6 +92,7 @@ def main(argv: list[str] | None = None) -> None:
         lengths=tuple(args.lengths),
         scale=args.scale,
         seed=args.seed,
+        cache=args.cache,
     )
     print(render_figure2(points))
 

@@ -19,7 +19,9 @@ from repro.experiments.common import (
     ExperimentConfig,
     config_from_args,
     make_arg_parser,
+    prepare_workspaces,
 )
+from repro.flow.sweep import sweep
 from repro.tpg.registry import PAPER_TPGS
 from repro.utils.tables import AsciiTable
 
@@ -66,17 +68,27 @@ def compute_table1(
     config: ExperimentConfig,
     workspaces: dict[str, CircuitWorkspace] | None = None,
 ) -> list[Table1Row]:
-    """Regenerate Table 1's data for ``config.circuits``."""
+    """Regenerate Table 1's data for ``config.circuits``.
+
+    A thin client of :func:`repro.flow.sweep.sweep`: the set-covering
+    cells come from one circuits x TPGs grid over shared sessions; only
+    the GATSBY baseline (not a flow stage) runs outside the sweep.
+    """
+    if workspaces is None:
+        workspaces = prepare_workspaces(config)
+    grid = sweep(
+        list(config.circuits),
+        list(PAPER_TPGS),
+        configs=[config.pipeline_config()],
+        sessions=workspaces,
+        scale=config.scale,
+    )
     rows: list[Table1Row] = []
     for name in config.circuits:
-        workspace = (
-            workspaces[name]
-            if workspaces is not None
-            else CircuitWorkspace.prepare(name, config)
-        )
+        workspace = workspaces[name]
         cells: dict[str, Table1Cell] = {}
         for tpg_name in PAPER_TPGS:
-            pipeline = workspace.run_pipeline(tpg_name, config)
+            pipeline = grid.get(name, tpg_name).result
             gatsby = (
                 workspace.run_gatsby(tpg_name, config)
                 if config.run_gatsby

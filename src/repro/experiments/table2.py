@@ -24,7 +24,9 @@ from repro.experiments.common import (
     ExperimentConfig,
     config_from_args,
     make_arg_parser,
+    prepare_workspaces,
 )
+from repro.flow.sweep import sweep
 from repro.tpg.registry import PAPER_TPGS
 from repro.utils.tables import AsciiTable
 
@@ -56,18 +58,26 @@ def compute_table2(
     config: ExperimentConfig,
     workspaces: dict[str, CircuitWorkspace] | None = None,
 ) -> list[Table2Row]:
-    """Regenerate Table 2's data for ``config.circuits``."""
+    """Regenerate Table 2's data for ``config.circuits``.
+
+    Like Table 1, a thin client of :func:`repro.flow.sweep.sweep` over
+    shared per-circuit sessions.
+    """
+    if workspaces is None:
+        workspaces = prepare_workspaces(config)
+    grid = sweep(
+        list(config.circuits),
+        list(PAPER_TPGS),
+        configs=[config.pipeline_config()],
+        sessions=workspaces,
+        scale=config.scale,
+    )
     rows: list[Table2Row] = []
     for name in config.circuits:
-        workspace = (
-            workspaces[name]
-            if workspaces is not None
-            else CircuitWorkspace.prepare(name, config)
-        )
         cells: dict[str, Table2Cell] = {}
         initial_shape = (0, 0)
         for tpg_name in PAPER_TPGS:
-            pipeline = workspace.run_pipeline(tpg_name, config)
+            pipeline = grid.get(name, tpg_name).result
             initial_shape = pipeline.detection_matrix.shape
             cells[tpg_name] = Table2Cell(
                 n_necessary=pipeline.n_necessary,

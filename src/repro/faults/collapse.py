@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
-from repro.faults.model import Fault, FaultSite
+from repro.faults.model import Fault
 
 _EQUIV_RULES: dict[GateType, list[tuple[int, int]]] = {
     GateType.AND: [(0, 0)],

@@ -7,25 +7,29 @@
         --reduced matrix--> exact solver (LINGO stand-in)
         --necessary + minimal triplets--> trimming --> final reseeding N
 
-``ReseedingPipeline.run()`` executes the whole chain for one circuit and
-one TPG, and returns every intermediate artefact (the experiments need
-them all: Table 1 reads the final solution, Table 2 the matrix/reduction
-statistics).
+The flow itself now lives in :mod:`repro.flow.stages` as first-class
+``Stage`` objects over a shared ``StageContext``;
+:class:`ReseedingPipeline` survives as the stable convenience wrapper
+that executes the default stage chain for one circuit and one TPG and
+returns every intermediate artefact (the experiments need them all:
+Table 1 reads the final solution, Table 2 the matrix/reduction
+statistics).  For circuit-level artefact sharing and on-disk caching
+use :class:`repro.flow.session.Session`; for batch grids use
+:func:`repro.flow.sweep.sweep`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.atpg.engine import AtpgEngine, AtpgResult
+from repro.atpg.engine import AtpgResult
 from repro.circuit.netlist import Circuit
+from repro.flow.stages import ProgressHook, StageContext, run_flow
 from repro.reseeding.detection_matrix import DetectionMatrix
-from repro.reseeding.initial import InitialReseeding, InitialReseedingBuilder
-from repro.reseeding.triplet import ReseedingSolution, Triplet
-from repro.reseeding.trim import TrimmedSolution, trim_solution
-from repro.setcover.matrix import CoverMatrix
-from repro.setcover.solve import CoverSolution, solve_cover
+from repro.reseeding.initial import InitialReseeding
+from repro.reseeding.triplet import Triplet
+from repro.reseeding.trim import TrimmedSolution
+from repro.setcover.solve import CoverSolution
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
 from repro.tpg.registry import make_tpg
@@ -48,6 +52,19 @@ class PipelineConfig:
     backtrack_limit: int = 250
     grasp_iterations: int = 30
     matrix_workers: int | None = None
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-compatible)."""
+        from repro.flow.serialize import pipeline_config_to_dict
+
+        return pipeline_config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import pipeline_config_from_dict
+
+        return pipeline_config_from_dict(data)
 
 
 @dataclass
@@ -103,13 +120,36 @@ class PipelineResult:
             f"reduced={self.reduced_shape[0]}x{self.reduced_shape[1]})"
         )
 
+    def to_dict(self) -> dict:
+        """Schema-versioned plain-dict form — the artifact-cache entry
+        format, lossless for every downstream consumer."""
+        from repro.flow.serialize import pipeline_result_to_dict
+
+        return pipeline_result_to_dict(self)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """:meth:`to_dict` rendered as JSON text (CLI ``--json``)."""
+        from repro.flow.serialize import to_json
+
+        return to_json(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineResult":
+        """Inverse of :meth:`to_dict`; raises
+        :class:`~repro.flow.serialize.SchemaMismatchError` on version skew."""
+        from repro.flow.serialize import pipeline_result_from_dict
+
+        return pipeline_result_from_dict(data)
+
 
 class ReseedingPipeline:
     """Figure 1, as a reusable object.
 
     ``atpg_result`` and ``simulator`` can be shared across pipelines for
     the same circuit (Table 1 runs three TPGs per circuit; ATPG and the
-    compiled fault simulator are circuit-level artefacts).
+    compiled fault simulator are circuit-level artefacts).  ``run()`` is
+    a thin wrapper over the :mod:`repro.flow.stages` machinery and
+    produces results bit-identical to the pre-stage implementation.
     """
 
     def __init__(
@@ -128,69 +168,15 @@ class ReseedingPipeline:
         self.simulator = simulator or FaultSimulator(circuit)
         self._atpg_result = atpg_result
 
-    def run(self) -> PipelineResult:
+    def run(self, progress: ProgressHook | None = None) -> PipelineResult:
         """Execute ATPG -> matrix -> reduction -> exact cover -> trim."""
-        config = self.config
-        timings: dict[str, float] = {}
-
-        start = time.perf_counter()
-        atpg_result = self._atpg_result
-        if atpg_result is None:
-            engine = AtpgEngine(
-                self.circuit,
-                seed=config.seed,
-                max_random_patterns=config.max_random_patterns,
-                backtrack_limit=config.backtrack_limit,
-                simulator=self.simulator,
-            )
-            atpg_result = engine.run()
-        timings["atpg"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        builder = InitialReseedingBuilder(
-            self.circuit, self.tpg, seed=config.seed, simulator=self.simulator
-        )
-        initial = builder.build_from_atpg(
-            atpg_result,
-            evolution_length=config.evolution_length,
-            workers=config.matrix_workers,
-        )
-        timings["detection_matrix"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        cover_matrix = CoverMatrix.from_bool_array(initial.detection_matrix.matrix)
-        cover = solve_cover(
-            cover_matrix,
-            method=config.cover_method,
-            seed=config.seed,
-            grasp_iterations=config.grasp_iterations,
-        )
-        timings["set_cover"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        selected_triplets = [initial.triplets[row] for row in cover.selected]
-        trimmed = trim_solution(
-            self.circuit,
-            self.tpg,
-            selected_triplets,
-            atpg_result.target_faults,
+        ctx = StageContext(
+            circuit=self.circuit,
+            tpg=self.tpg,
+            config=self.config,
             simulator=self.simulator,
+            progress=progress,
         )
-        if trimmed.undetected:
-            raise AssertionError(
-                f"final reseeding misses {len(trimmed.undetected)} faults; "
-                "the covering solution should be complete"
-            )
-        timings["trim"] = time.perf_counter() - start
-
-        return PipelineResult(
-            circuit_name=self.circuit.name,
-            tpg_name=self.tpg.name,
-            config=config,
-            atpg=atpg_result,
-            initial=initial,
-            cover=cover,
-            selected_triplets=selected_triplets,
-            trimmed=trimmed,
-            timings=timings,
-        )
+        if self._atpg_result is not None:
+            ctx.artifacts["atpg"] = self._atpg_result
+        return run_flow(ctx)

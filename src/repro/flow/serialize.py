@@ -1,0 +1,277 @@
+"""Schema-versioned (de)serialisation of flow artefacts.
+
+The artifact cache (:mod:`repro.flow.session`), the process-pool sweep
+path (:mod:`repro.flow.sweep`) and the CLI's ``--json`` output all need
+pipeline artefacts as plain JSON-compatible dicts.  Everything here is
+lossless for the fields the flow consumes downstream: a cached
+:class:`~repro.flow.pipeline.PipelineResult` reconstructed with
+:func:`pipeline_result_from_dict` reports bit-identical ``#Triplets`` /
+``TestLength`` / matrix statistics.
+
+``SCHEMA_VERSION`` is embedded in every top-level payload; readers
+reject (cache: treat as miss) payloads from other versions, so stale
+cache directories degrade to recomputation instead of wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+#: Bump whenever the serialised layout of any artefact changes.
+SCHEMA_VERSION = 1
+
+
+class SchemaMismatchError(ValueError):
+    """Payload was written by an incompatible serialiser version."""
+
+
+def check_schema(payload: dict[str, Any], kind: str) -> None:
+    """Reject payloads from other schema versions or of the wrong kind."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaMismatchError(
+            f"{kind}: schema version {version!r} != {SCHEMA_VERSION}"
+        )
+    found = payload.get("kind")
+    if found != kind:
+        raise SchemaMismatchError(f"expected kind {kind!r}, found {found!r}")
+
+
+# --------------------------------------------------------------------------
+# Leaf values
+# --------------------------------------------------------------------------
+
+
+def bitvector_to_str(vector) -> str:
+    """A :class:`~repro.utils.bitvec.BitVector` as a binary string (the
+    width is implied by the string length, leading zeros included)."""
+    return vector.to_string()
+
+
+def bitvector_from_str(text: str):
+    """Inverse of :func:`bitvector_to_str`."""
+    from repro.utils.bitvec import BitVector
+
+    return BitVector.from_string(text)
+
+
+def fault_to_dict(fault) -> dict[str, Any]:
+    """A :class:`~repro.faults.model.Fault` as a plain dict."""
+    return {
+        "net": fault.site.net,
+        "gate": fault.site.gate,
+        "pin": fault.site.pin,
+        "value": fault.value,
+    }
+
+
+def fault_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`fault_to_dict`."""
+    from repro.faults.model import Fault, FaultSite
+
+    return Fault(FaultSite(data["net"], data["gate"], data["pin"]), data["value"])
+
+
+def triplet_to_dict(triplet) -> dict[str, Any]:
+    """A :class:`~repro.reseeding.triplet.Triplet` as a plain dict."""
+    return {
+        "delta": bitvector_to_str(triplet.delta),
+        "sigma": bitvector_to_str(triplet.sigma),
+        "length": triplet.length,
+    }
+
+
+def triplet_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`triplet_to_dict`."""
+    from repro.reseeding.triplet import Triplet
+
+    return Triplet(
+        bitvector_from_str(data["delta"]),
+        bitvector_from_str(data["sigma"]),
+        data["length"],
+    )
+
+
+def bool_matrix_to_dict(matrix: np.ndarray) -> dict[str, Any]:
+    """A boolean matrix as shape + hex-packed bits (row-major)."""
+    return {
+        "shape": list(matrix.shape),
+        "bits": np.packbits(matrix.astype(np.uint8), axis=None).tobytes().hex(),
+    }
+
+
+def bool_matrix_from_dict(data: dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`bool_matrix_to_dict`."""
+    rows, cols = data["shape"]
+    raw = np.frombuffer(bytes.fromhex(data["bits"]), dtype=np.uint8)
+    bits = np.unpackbits(raw, count=rows * cols)
+    return bits.reshape(rows, cols).astype(bool)
+
+
+# --------------------------------------------------------------------------
+# ATPG results
+# --------------------------------------------------------------------------
+
+
+def atpg_result_to_dict(result) -> dict[str, Any]:
+    """An :class:`~repro.atpg.engine.AtpgResult` as a plain dict."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "atpg_result",
+        "circuit_name": result.circuit_name,
+        "test_set": [bitvector_to_str(p) for p in result.test_set],
+        "target_faults": [fault_to_dict(f) for f in result.target_faults],
+        "untestable": [fault_to_dict(f) for f in result.untestable],
+        "aborted": [fault_to_dict(f) for f in result.aborted],
+        "n_collapsed_faults": result.n_collapsed_faults,
+        "random_patterns_kept": result.random_patterns_kept,
+        "podem_patterns": result.podem_patterns,
+    }
+
+
+def atpg_result_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`atpg_result_to_dict` (order-preserving, so a
+    cached result drives the downstream stages identically)."""
+    from repro.atpg.engine import AtpgResult
+
+    check_schema(data, "atpg_result")
+    return AtpgResult(
+        circuit_name=data["circuit_name"],
+        test_set=[bitvector_from_str(p) for p in data["test_set"]],
+        target_faults=[fault_from_dict(f) for f in data["target_faults"]],
+        untestable=[fault_from_dict(f) for f in data["untestable"]],
+        aborted=[fault_from_dict(f) for f in data["aborted"]],
+        n_collapsed_faults=data["n_collapsed_faults"],
+        random_patterns_kept=data["random_patterns_kept"],
+        podem_patterns=data["podem_patterns"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Pipeline results
+# --------------------------------------------------------------------------
+
+
+def pipeline_config_to_dict(config) -> dict[str, Any]:
+    """A :class:`~repro.flow.pipeline.PipelineConfig` as a plain dict."""
+    return asdict(config)
+
+
+def pipeline_config_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`pipeline_config_to_dict`."""
+    from repro.flow.pipeline import PipelineConfig
+
+    return PipelineConfig(**data)
+
+
+def pipeline_result_to_dict(result) -> dict[str, Any]:
+    """A full :class:`~repro.flow.pipeline.PipelineResult` as a plain,
+    JSON-serialisable dict (the cache entry format)."""
+    from repro.setcover.solve import SolveStats
+
+    stats: SolveStats = result.cover.stats
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "pipeline_result",
+        "circuit_name": result.circuit_name,
+        "tpg_name": result.tpg_name,
+        "config": pipeline_config_to_dict(result.config),
+        "atpg": atpg_result_to_dict(result.atpg),
+        "initial": {
+            "triplets": [triplet_to_dict(t) for t in result.initial.triplets],
+            "matrix": bool_matrix_to_dict(result.initial.detection_matrix.matrix),
+            "evolution_length": result.initial.evolution_length,
+        },
+        "cover": {
+            "selected": list(result.cover.selected),
+            "essential": list(result.cover.essential),
+            "solver_selected": list(result.cover.solver_selected),
+            "stats": {
+                "initial_shape": list(stats.initial_shape),
+                "n_essential": stats.n_essential,
+                "reduced_shape": list(stats.reduced_shape),
+                "n_solver_selected": stats.n_solver_selected,
+                "solver": stats.solver,
+                "optimal": stats.optimal,
+                "reduction_iterations": stats.reduction_iterations,
+            },
+        },
+        "trimmed": {
+            "triplets": [
+                triplet_to_dict(t) for t in result.trimmed.solution.triplets
+            ],
+            "delta_coverage": list(result.trimmed.delta_coverage),
+            "undetected": [fault_to_dict(f) for f in result.trimmed.undetected],
+        },
+        "timings": dict(result.timings),
+    }
+
+
+def pipeline_result_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`pipeline_result_to_dict`.
+
+    The reconstructed object shares structure the same way a live run
+    does: the Detection Matrix's fault columns are the ATPG target
+    faults, and ``selected_triplets`` are the initial pool's rows at the
+    cover's selected indices.
+    """
+    from repro.flow.pipeline import PipelineResult
+    from repro.reseeding.detection_matrix import DetectionMatrix
+    from repro.reseeding.initial import InitialReseeding
+    from repro.reseeding.triplet import ReseedingSolution
+    from repro.reseeding.trim import TrimmedSolution
+    from repro.setcover.solve import CoverSolution, SolveStats
+
+    check_schema(data, "pipeline_result")
+    atpg = atpg_result_from_dict(data["atpg"])
+    triplets = [triplet_from_dict(t) for t in data["initial"]["triplets"]]
+    matrix = DetectionMatrix(
+        triplets,
+        list(atpg.target_faults),
+        bool_matrix_from_dict(data["initial"]["matrix"]),
+    )
+    initial = InitialReseeding(
+        triplets, matrix, data["initial"]["evolution_length"]
+    )
+    raw_stats = data["cover"]["stats"]
+    cover = CoverSolution(
+        selected=list(data["cover"]["selected"]),
+        essential=list(data["cover"]["essential"]),
+        solver_selected=list(data["cover"]["solver_selected"]),
+        stats=SolveStats(
+            initial_shape=tuple(raw_stats["initial_shape"]),
+            n_essential=raw_stats["n_essential"],
+            reduced_shape=tuple(raw_stats["reduced_shape"]),
+            n_solver_selected=raw_stats["n_solver_selected"],
+            solver=raw_stats["solver"],
+            optimal=raw_stats["optimal"],
+            reduction_iterations=raw_stats["reduction_iterations"],
+        ),
+    )
+    trimmed = TrimmedSolution(
+        ReseedingSolution.from_list(
+            [triplet_from_dict(t) for t in data["trimmed"]["triplets"]]
+        ),
+        tuple(data["trimmed"]["delta_coverage"]),
+        tuple(fault_from_dict(f) for f in data["trimmed"]["undetected"]),
+    )
+    return PipelineResult(
+        circuit_name=data["circuit_name"],
+        tpg_name=data["tpg_name"],
+        config=pipeline_config_from_dict(data["config"]),
+        atpg=atpg,
+        initial=initial,
+        cover=cover,
+        selected_triplets=[triplets[row] for row in cover.selected],
+        trimmed=trimmed,
+        timings=dict(data["timings"]),
+    )
+
+
+def to_json(payload: dict[str, Any], indent: int | None = None) -> str:
+    """Render a serialised payload as JSON text."""
+    return json.dumps(payload, indent=indent, sort_keys=False)

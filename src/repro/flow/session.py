@@ -1,0 +1,342 @@
+"""Sessions: circuit-level artefact ownership + on-disk artifact cache.
+
+A :class:`Session` owns everything that is per-circuit rather than
+per-run — the loaded :class:`~repro.circuit.netlist.Circuit`, the
+compiled :class:`~repro.sim.fault.FaultSimulator`, and the (expensive)
+:class:`~repro.atpg.engine.AtpgResult` — so any number of TPG flows,
+trade-off sweeps and baselines share them, exactly as the paper's flow
+shares TestGen output across generators.  It replaces (and absorbs) the
+old ``experiments.common.CircuitWorkspace``.
+
+An optional :class:`ArtifactCache` adds content-keyed on-disk
+persistence: artefacts are stored as schema-versioned JSON under a key
+derived from circuit name + scale + seed + a hash of the relevant
+config knobs, so repeated runs and resumed sweeps skip ATPG and
+Detection Matrix construction entirely.  Cache hits and misses are
+counted per artefact kind (``cache.hits_for("atpg_result")`` ...), and
+schema or key mismatches degrade to recomputation, never wrong answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.atpg.engine import AtpgResult
+from repro.circuit.netlist import Circuit
+from repro.circuits import load_circuit
+from repro.flow.pipeline import PipelineConfig, PipelineResult
+from repro.flow.serialize import (
+    SchemaMismatchError,
+    atpg_result_from_dict,
+    atpg_result_to_dict,
+)
+from repro.flow.stages import ProgressHook, StageContext, StageEvent, run_flow
+from repro.sim.fault import FaultSimulator
+from repro.tpg.base import TestPatternGenerator
+from repro.tpg.registry import make_tpg
+
+
+class ArtifactCache:
+    """A content-keyed, schema-versioned, on-disk artefact store.
+
+    Entries are JSON files named by the SHA-256 of their canonicalised
+    key fields.  ``get`` returns ``None`` (and counts a miss) for
+    absent, unreadable, or schema-mismatched entries, so a stale cache
+    directory is always safe to keep around.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self._by_kind: dict[str, dict[str, int]] = {}
+
+    @staticmethod
+    def key(kind: str, **fields: Any) -> str:
+        """A deterministic cache key from the artefact kind + fields."""
+        canonical = json.dumps(
+            {"kind": kind, **fields}, sort_keys=True, default=str
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _count(self, kind: str, hit: bool) -> None:
+        bucket = self._by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            bucket["hits"] += 1
+        else:
+            self.misses += 1
+            bucket["misses"] += 1
+
+    def get(self, key: str, kind: str) -> dict[str, Any] | None:
+        """The payload stored under ``key``, or ``None`` on any miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self._count(kind, hit=False)
+            return None
+        from repro.flow.serialize import check_schema
+
+        try:
+            check_schema(payload, kind)
+        except SchemaMismatchError:
+            self._count(kind, hit=False)
+            return None
+        self._count(kind, hit=True)
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Persist ``payload`` (already schema-stamped) under ``key``."""
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
+    def record(self, kind: str, hit: bool) -> None:
+        """Fold an externally-observed hit/miss into the counters (used
+        by the process-pool sweep path, where workers consult their own
+        per-process cache objects on the shared directory)."""
+        self._count(kind, hit)
+
+    def hits_for(self, kind: str) -> int:
+        """Cache hits recorded for one artefact kind."""
+        return self._by_kind.get(kind, {}).get("hits", 0)
+
+    def misses_for(self, kind: str) -> int:
+        """Cache misses recorded for one artefact kind."""
+        return self._by_kind.get(kind, {}).get("misses", 0)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters summary: totals plus a per-kind breakdown."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "by_kind": {k: dict(v) for k, v in self._by_kind.items()},
+        }
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One ``Session.run_info`` outcome: the result plus provenance."""
+
+    result: PipelineResult
+    from_cache: bool
+    seconds: float
+
+
+class Session:
+    """Per-circuit artefact owner and flow runner.
+
+    Construct directly from a loaded circuit, or with
+    :meth:`from_name` to also record the catalog ``scale`` in cache
+    keys.  ``run`` executes the staged Figure-1 flow for one TPG,
+    reusing the session's circuit-level ATPG (and, when a cache is
+    attached, skipping any work a previous process already did).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: PipelineConfig | None = None,
+        simulator: FaultSimulator | None = None,
+        cache: ArtifactCache | str | Path | None = None,
+        scale: float | None = None,
+        progress: ProgressHook | None = None,
+        atpg_result: AtpgResult | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.name = circuit.name
+        self.config = config or PipelineConfig()
+        self.simulator = simulator or FaultSimulator(circuit)
+        self.cache = (
+            ArtifactCache(cache)
+            if isinstance(cache, (str, Path))
+            else cache
+        )
+        self.scale = scale
+        self.progress = progress
+        #: ATPG artefacts memoized per knob-set (seed, patterns, backtracks),
+        #: so a multi-config sweep never recomputes an identical ATPG run.
+        self._atpg_results: dict[tuple, AtpgResult] = {}
+        if atpg_result is not None:
+            self._atpg_results[self._atpg_knobs(self.config)] = atpg_result
+        self._atpg_seconds = 0.0
+        self._fingerprint: str | None = None
+
+    @classmethod
+    def from_name(
+        cls,
+        name: str,
+        scale: float = 1.0,
+        config: PipelineConfig | None = None,
+        cache: ArtifactCache | str | Path | None = None,
+        progress: ProgressHook | None = None,
+    ) -> "Session":
+        """Load (or synthesise) a catalog circuit and wrap it."""
+        return cls(
+            load_circuit(name, scale=scale),
+            config=config,
+            cache=cache,
+            scale=scale,
+            progress=progress,
+        )
+
+    # -- progress ----------------------------------------------------------
+
+    def _emit(self, event: StageEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    # -- cache keys --------------------------------------------------------
+
+    @staticmethod
+    def _atpg_knobs(config: PipelineConfig) -> tuple:
+        """The config knobs ATPG actually reads (its memoization key)."""
+        return (config.seed, config.max_random_patterns, config.backtrack_limit)
+
+    @property
+    def circuit_fingerprint(self) -> str:
+        """A content hash of the netlist, part of every cache key — so
+        two different circuits that happen to share a catalog name (e.g.
+        the same synthetic circuit at two ``scale`` factors) can never
+        serve each other's cached artefacts."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256(
+                json.dumps(
+                    {
+                        "inputs": list(self.circuit.inputs),
+                        "outputs": list(self.circuit.outputs),
+                        "gates": sorted(
+                            [g.name, g.gtype.name, list(g.fanins)]
+                            for g in self.circuit.gates.values()
+                        ),
+                    }
+                ).encode()
+            ).hexdigest()
+            self._fingerprint = digest[:16]
+        return self._fingerprint
+
+    def _atpg_key(self, config: PipelineConfig) -> str:
+        """ATPG cache key: only the knobs ATPG actually reads, so matrix
+        and covering knobs never invalidate the expensive artefact."""
+        return ArtifactCache.key(
+            "atpg_result",
+            circuit=self.name,
+            netlist=self.circuit_fingerprint,
+            seed=config.seed,
+            max_random_patterns=config.max_random_patterns,
+            backtrack_limit=config.backtrack_limit,
+        )
+
+    def _result_key(self, tpg_name: str, config: PipelineConfig) -> str:
+        config_fields = config.to_dict()
+        # Performance-only knob: identical results with any worker count,
+        # so it must not invalidate cached artefacts.
+        config_fields.pop("matrix_workers", None)
+        return ArtifactCache.key(
+            "pipeline_result",
+            circuit=self.name,
+            netlist=self.circuit_fingerprint,
+            seed=config.seed,
+            tpg=tpg_name,
+            config=config_fields,
+        )
+
+    # -- artefacts ---------------------------------------------------------
+
+    @property
+    def atpg_result(self) -> AtpgResult:
+        """The circuit-level ATPG artefact (memory -> cache -> compute)."""
+        return self._atpg_for(self.config)
+
+    def _atpg_for(self, config: PipelineConfig) -> AtpgResult:
+        knobs = self._atpg_knobs(config)
+        if knobs not in self._atpg_results:
+            self._atpg_results[knobs] = self._load_or_run_atpg(config)
+        return self._atpg_results[knobs]
+
+    def _load_or_run_atpg(self, config: PipelineConfig) -> AtpgResult:
+        self._atpg_seconds = 0.0
+        if self.cache is not None:
+            key = self._atpg_key(config)
+            payload = self.cache.get(key, "atpg_result")
+            if payload is not None:
+                self._emit(StageEvent("atpg", "cache-hit"))
+                return atpg_result_from_dict(payload)
+        from repro.atpg.engine import AtpgEngine
+
+        start = time.perf_counter()
+        engine = AtpgEngine(
+            self.circuit,
+            seed=config.seed,
+            max_random_patterns=config.max_random_patterns,
+            backtrack_limit=config.backtrack_limit,
+            simulator=self.simulator,
+        )
+        result = engine.run()
+        self._atpg_seconds = time.perf_counter() - start
+        self._emit(StageEvent("atpg", "done", self._atpg_seconds))
+        if self.cache is not None:
+            self.cache.put(self._atpg_key(config), atpg_result_to_dict(result))
+        return result
+
+    # -- flows -------------------------------------------------------------
+
+    def run_info(
+        self,
+        tpg: TestPatternGenerator | str,
+        config: PipelineConfig | None = None,
+        use_cache: bool = True,
+    ) -> RunInfo:
+        """Run the staged flow for one TPG; report cache provenance."""
+        config = config or self.config
+        tpg_instance = (
+            make_tpg(tpg, self.circuit.n_inputs) if isinstance(tpg, str) else tpg
+        )
+        start = time.perf_counter()
+        if self.cache is not None and use_cache:
+            key = self._result_key(tpg_instance.name, config)
+            payload = self.cache.get(key, "pipeline_result")
+            if payload is not None:
+                self._emit(StageEvent("pipeline", "cache-hit"))
+                result = PipelineResult.from_dict(payload)
+                return RunInfo(result, True, time.perf_counter() - start)
+        atpg_was_ready = self._atpg_knobs(config) in self._atpg_results
+        atpg = self._atpg_for(config)
+        ctx = StageContext(
+            circuit=self.circuit,
+            tpg=tpg_instance,
+            config=config,
+            simulator=self.simulator,
+            progress=self.progress,
+        )
+        ctx.artifacts["atpg"] = atpg
+        result = run_flow(ctx)
+        if not atpg_was_ready:
+            # This run paid for ATPG (session-level, outside the skipped
+            # AtpgStage): attribute the cost to its timings line.
+            result.timings["atpg"] += self._atpg_seconds
+        if self.cache is not None and use_cache:
+            self.cache.put(
+                self._result_key(tpg_instance.name, config), result.to_dict()
+            )
+        return RunInfo(result, False, time.perf_counter() - start)
+
+    def run(
+        self,
+        tpg: TestPatternGenerator | str,
+        config: PipelineConfig | None = None,
+        use_cache: bool = True,
+    ) -> PipelineResult:
+        """The staged Figure-1 flow for one TPG, with shared artefacts."""
+        return self.run_info(tpg, config, use_cache=use_cache).result

@@ -1,0 +1,273 @@
+"""First-class flow stages (the boxes of the paper's Figure 1).
+
+Each box of the flow — ATPG, Detection Matrix construction, set
+covering, trimming — is a :class:`Stage`: a named, timed step that
+reads and writes artefacts on a shared :class:`StageContext` and emits
+:class:`StageEvent` progress callbacks.  Stages are registered in
+:data:`STAGE_REGISTRY` (mirroring ``repro.tpg.registry``), so custom
+flows can insert, replace or reorder steps::
+
+    ctx = StageContext(circuit, tpg, config, simulator)
+    result = run_flow(ctx)                      # the default Figure-1 chain
+    result = run_flow(ctx, ["set_cover", "trim"])   # resume mid-flow
+
+Artefact keys: ``"atpg"`` (:class:`~repro.atpg.engine.AtpgResult`),
+``"initial"`` (:class:`~repro.reseeding.initial.InitialReseeding`),
+``"cover"`` (:class:`~repro.setcover.solve.CoverSolution`),
+``"selected"`` (``list[Triplet]``), ``"trimmed"``
+(:class:`~repro.reseeding.trim.TrimmedSolution`).  A stage whose output
+artefact is already present skips itself (that is how a
+:class:`~repro.flow.session.Session` shares circuit-level ATPG across
+TPGs and how the artifact cache short-circuits recomputation), so
+timing keys are always recorded — a skipped stage just costs ~0s.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, ClassVar, Sequence
+
+from repro.atpg.engine import AtpgEngine
+from repro.circuit.netlist import Circuit
+from repro.reseeding.initial import InitialReseedingBuilder
+from repro.reseeding.trim import trim_solution
+from repro.setcover.matrix import CoverMatrix
+from repro.setcover.solve import solve_cover
+from repro.sim.fault import FaultSimulator
+from repro.tpg.base import TestPatternGenerator
+from repro.utils.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flow.pipeline import PipelineConfig, PipelineResult
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One progress tick: a stage started, finished, or skipped."""
+
+    stage: str
+    status: str  # "start" | "done" | "skipped"
+    seconds: float = 0.0
+    detail: str = ""
+
+
+#: Callback invoked with every :class:`StageEvent` of a flow run.
+ProgressHook = Callable[[StageEvent], None]
+
+
+@dataclass
+class StageContext:
+    """Everything stages share: inputs, knobs, and produced artefacts.
+
+    ``artifacts`` maps artefact keys (see the module docstring) to the
+    objects stages produce; pre-seeding a key makes the producing stage
+    skip itself.  ``timings`` collects per-stage wall-clock seconds
+    under the stage names.
+    """
+
+    circuit: Circuit
+    tpg: TestPatternGenerator
+    config: "PipelineConfig"
+    simulator: FaultSimulator
+    artifacts: dict[str, object] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    progress: ProgressHook | None = None
+
+    def emit(self, event: StageEvent) -> None:
+        """Deliver ``event`` to the progress hook, if any."""
+        if self.progress is not None:
+            self.progress(event)
+
+
+class Stage:
+    """A named, timed flow step.
+
+    Subclasses set ``name`` (also the timing key), ``requires`` /
+    ``provides`` (artefact keys), and implement :meth:`run`.  ``run``
+    returns ``True`` when the stage skipped itself because its output
+    already existed.
+    """
+
+    name: ClassVar[str] = "stage"
+    requires: ClassVar[tuple[str, ...]] = ()
+    provides: ClassVar[tuple[str, ...]] = ()
+
+    def run(self, ctx: StageContext) -> bool:
+        """Produce ``provides`` on ``ctx.artifacts``; return True if
+        the work was skipped (outputs already present)."""
+        raise NotImplementedError
+
+    def execute(self, ctx: StageContext) -> None:
+        """Validate inputs, time :meth:`run`, emit progress events."""
+        missing = [key for key in self.requires if key not in ctx.artifacts]
+        if missing:
+            raise ValueError(
+                f"stage {self.name!r} missing required artifacts: {missing} "
+                f"(run the producing stages first)"
+            )
+        ctx.emit(StageEvent(self.name, "start"))
+        start = time.perf_counter()
+        skipped = self.run(ctx)
+        seconds = time.perf_counter() - start
+        ctx.timings[self.name] = seconds
+        ctx.emit(
+            StageEvent(self.name, "skipped" if skipped else "done", seconds)
+        )
+
+    def _already_done(self, ctx: StageContext) -> bool:
+        return all(key in ctx.artifacts for key in self.provides)
+
+
+class AtpgStage(Stage):
+    """Deterministic test generation (the TestGen stand-in).
+
+    Skips itself when an ``"atpg"`` artefact is pre-seeded — the
+    Session/Table-1 pattern of sharing one circuit-level ATPG run
+    across several TPG flows.
+    """
+
+    name = "atpg"
+    provides = ("atpg",)
+
+    def run(self, ctx: StageContext) -> bool:
+        if self._already_done(ctx):
+            return True
+        config = ctx.config
+        engine = AtpgEngine(
+            ctx.circuit,
+            seed=config.seed,
+            max_random_patterns=config.max_random_patterns,
+            backtrack_limit=config.backtrack_limit,
+            simulator=ctx.simulator,
+        )
+        ctx.artifacts["atpg"] = engine.run()
+        return False
+
+
+class MatrixStage(Stage):
+    """Initial Reseeding Builder: candidate triplets + Detection Matrix."""
+
+    name = "detection_matrix"
+    requires = ("atpg",)
+    provides = ("initial",)
+
+    def run(self, ctx: StageContext) -> bool:
+        if self._already_done(ctx):
+            return True
+        config = ctx.config
+        builder = InitialReseedingBuilder(
+            ctx.circuit, ctx.tpg, seed=config.seed, simulator=ctx.simulator
+        )
+        ctx.artifacts["initial"] = builder.build_from_atpg(
+            ctx.artifacts["atpg"],
+            evolution_length=config.evolution_length,
+            workers=config.matrix_workers,
+        )
+        return False
+
+
+class CoverStage(Stage):
+    """Matrix reduction + exact/heuristic covering (the LINGO stand-in)."""
+
+    name = "set_cover"
+    requires = ("initial",)
+    provides = ("cover", "selected")
+
+    def run(self, ctx: StageContext) -> bool:
+        if self._already_done(ctx):
+            return True
+        config = ctx.config
+        initial = ctx.artifacts["initial"]
+        cover_matrix = CoverMatrix.from_bool_array(initial.detection_matrix.matrix)
+        cover = solve_cover(
+            cover_matrix,
+            method=config.cover_method,
+            seed=config.seed,
+            grasp_iterations=config.grasp_iterations,
+        )
+        ctx.artifacts["cover"] = cover
+        ctx.artifacts["selected"] = [
+            initial.triplets[row] for row in cover.selected
+        ]
+        return False
+
+
+class TrimStage(Stage):
+    """Per-triplet test-length trimming (paper Section 4)."""
+
+    name = "trim"
+    requires = ("atpg", "selected")
+    provides = ("trimmed",)
+
+    def run(self, ctx: StageContext) -> bool:
+        if self._already_done(ctx):
+            return True
+        atpg = ctx.artifacts["atpg"]
+        trimmed = trim_solution(
+            ctx.circuit,
+            ctx.tpg,
+            ctx.artifacts["selected"],
+            atpg.target_faults,
+            simulator=ctx.simulator,
+        )
+        if trimmed.undetected:
+            raise AssertionError(
+                f"final reseeding misses {len(trimmed.undetected)} faults; "
+                "the covering solution should be complete"
+            )
+        ctx.artifacts["trimmed"] = trimmed
+        return False
+
+
+STAGE_REGISTRY: Registry[type[Stage]] = Registry("stage")
+STAGE_REGISTRY.register(AtpgStage.name, AtpgStage)
+STAGE_REGISTRY.register(MatrixStage.name, MatrixStage)
+STAGE_REGISTRY.register(CoverStage.name, CoverStage)
+STAGE_REGISTRY.register(TrimStage.name, TrimStage)
+
+#: The Figure-1 chain, in order.
+DEFAULT_STAGES: tuple[str, ...] = (
+    AtpgStage.name,
+    MatrixStage.name,
+    CoverStage.name,
+    TrimStage.name,
+)
+
+
+def make_stage(name: str) -> Stage:
+    """Instantiate a registered stage by name."""
+    return STAGE_REGISTRY.get(name)()
+
+
+def stage_names() -> list[str]:
+    """All registered stage names."""
+    return STAGE_REGISTRY.names()
+
+
+def assemble_result(ctx: StageContext) -> "PipelineResult":
+    """Bundle a completed context's artefacts into a PipelineResult."""
+    from repro.flow.pipeline import PipelineResult
+
+    return PipelineResult(
+        circuit_name=ctx.circuit.name,
+        tpg_name=ctx.tpg.name,
+        config=ctx.config,
+        atpg=ctx.artifacts["atpg"],
+        initial=ctx.artifacts["initial"],
+        cover=ctx.artifacts["cover"],
+        selected_triplets=ctx.artifacts["selected"],
+        trimmed=ctx.artifacts["trimmed"],
+        timings=dict(ctx.timings),
+    )
+
+
+def run_flow(
+    ctx: StageContext, stages: Sequence[str | Stage] | None = None
+) -> "PipelineResult":
+    """Execute ``stages`` (default: the full Figure-1 chain) over ``ctx``
+    and assemble the :class:`~repro.flow.pipeline.PipelineResult`."""
+    for entry in stages if stages is not None else DEFAULT_STAGES:
+        stage = make_stage(entry) if isinstance(entry, str) else entry
+        stage.execute(ctx)
+    return assemble_result(ctx)

@@ -5,16 +5,20 @@ suffice — at the price of a longer global test.  Figure 2 sweeps the
 evolution length T for s1238 on an adder accumulator and watches the
 triplet count fall (11 -> 2 in the paper) while the test length grows
 (5,427 -> 15,551).  ``explore_tradeoff`` regenerates that curve for any
-circuit/TPG: ATPG runs once, then one covering pass per T.
+circuit/TPG as a thin client of :func:`repro.flow.sweep.sweep`: one
+shared :class:`~repro.flow.session.Session` (so ATPG and the compiled
+simulator run once) and one config per T.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.atpg.engine import AtpgEngine, AtpgResult
+from repro.atpg.engine import AtpgResult
 from repro.circuit.netlist import Circuit
-from repro.flow.pipeline import PipelineConfig, PipelineResult, ReseedingPipeline
+from repro.flow.pipeline import PipelineConfig
+from repro.flow.session import ArtifactCache, Session
+from repro.flow.sweep import sweep
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
 from repro.tpg.registry import make_tpg
@@ -40,53 +44,41 @@ def explore_tradeoff(
     config: PipelineConfig | None = None,
     atpg_result: AtpgResult | None = None,
     simulator: FaultSimulator | None = None,
+    cache: ArtifactCache | None = None,
 ) -> list[TradeoffPoint]:
     """Sweep T and return one point per value, in the given order.
 
     The expected shape (asserted by the Figure-2 benchmark): triplet
     count is non-increasing in T while the global test length grows.
-    The batched fault simulator (and, via ``config.matrix_workers``, the
-    row-parallel matrix path) is shared across all sweep points, so the
-    per-point cost is one covering pass, not a fresh simulator compile.
+    The session's batched fault simulator (and, via
+    ``config.matrix_workers``, the row-parallel matrix path) is shared
+    across all sweep points, so the per-point cost is one covering
+    pass, not a fresh simulator compile; with a ``cache`` attached,
+    repeated sweeps skip even that.
     """
     if not evolution_lengths:
         raise ValueError("evolution_lengths must be non-empty")
     if any(t < 1 for t in evolution_lengths):
         raise ValueError("evolution lengths must be >= 1")
     base_config = config or PipelineConfig()
-    simulator = simulator or FaultSimulator(circuit)
     tpg_instance = (
         make_tpg(tpg, circuit.n_inputs) if isinstance(tpg, str) else tpg
     )
-    if atpg_result is None:
-        engine = AtpgEngine(
-            circuit,
-            seed=base_config.seed,
-            max_random_patterns=base_config.max_random_patterns,
-            backtrack_limit=base_config.backtrack_limit,
-            simulator=simulator,
-        )
-        atpg_result = engine.run()
-    points: list[TradeoffPoint] = []
-    for length in evolution_lengths:
-        run_config = PipelineConfig(
-            seed=base_config.seed,
-            evolution_length=length,
-            cover_method=base_config.cover_method,
-            max_random_patterns=base_config.max_random_patterns,
-            backtrack_limit=base_config.backtrack_limit,
-            grasp_iterations=base_config.grasp_iterations,
-            matrix_workers=base_config.matrix_workers,
-        )
-        pipeline = ReseedingPipeline(
-            circuit,
-            tpg_instance,
-            config=run_config,
-            atpg_result=atpg_result,
-            simulator=simulator,
-        )
-        result = pipeline.run()
-        points.append(
-            TradeoffPoint(length, result.n_triplets, result.test_length)
-        )
-    return points
+    session = Session(
+        circuit,
+        config=base_config,
+        simulator=simulator,
+        cache=cache,
+        atpg_result=atpg_result,
+    )
+    grid = sweep(
+        [circuit.name],
+        [tpg_instance],
+        base_config=base_config,
+        evolution_lengths=evolution_lengths,
+        sessions={circuit.name: session},
+    )
+    return [
+        TradeoffPoint(length, outcome.result.n_triplets, outcome.result.test_length)
+        for length, outcome in zip(evolution_lengths, grid)
+    ]

@@ -25,17 +25,27 @@ from repro.setcover.greedy import greedy_cover
 from repro.setcover.exact import branch_and_bound
 from repro.setcover.ilp import ilp_cover
 from repro.setcover.heuristic import grasp_cover
+from repro.setcover.registry import (
+    SOLVER_REGISTRY,
+    SolverOptions,
+    SolverOutcome,
+    solver_names,
+)
 from repro.setcover.solve import CoverSolution, SolveStats, solve_cover
 
 __all__ = [
     "CoverMatrix",
     "CoverSolution",
     "ReductionResult",
+    "SOLVER_REGISTRY",
     "SolveStats",
+    "SolverOptions",
+    "SolverOutcome",
     "branch_and_bound",
     "grasp_cover",
     "greedy_cover",
     "ilp_cover",
     "reduce_matrix",
     "solve_cover",
+    "solver_names",
 ]

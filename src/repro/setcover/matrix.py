@@ -8,7 +8,7 @@ sets and per-column row sets — the reduction rules need both directions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 import numpy as np

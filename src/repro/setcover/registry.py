@@ -1,0 +1,83 @@
+"""Pluggable covering-solver registry.
+
+``solve_cover``'s ``method=`` dispatch used to be a hard-wired
+``if``/``elif`` chain; it now looks solvers up here, so downstream code
+can register alternative core solvers (a SAT back-end, a different
+metaheuristic, ...) without touching the orchestrator.  Every solver
+shares one calling convention: ``(core, options) -> SolverOutcome``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.setcover.exact import branch_and_bound
+from repro.setcover.heuristic import grasp_cover
+from repro.setcover.ilp import ilp_cover
+from repro.setcover.matrix import CoverMatrix
+from repro.utils.registry import Registry
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Options shared by all core solvers.
+
+    ``costs`` switches from minimum cardinality to minimum total row
+    cost; solvers that cannot honour it must reject it rather than
+    silently ignore it.
+    """
+
+    seed: int = 2001
+    grasp_iterations: int = 30
+    costs: dict[int, float] | None = None
+
+
+@dataclass(frozen=True)
+class SolverOutcome:
+    """Rows the core solver picked, plus its optimality claim."""
+
+    selected: list[int]
+    optimal: bool
+
+
+SolverFn = Callable[[CoverMatrix, SolverOptions], SolverOutcome]
+
+SOLVER_REGISTRY: Registry[SolverFn] = Registry("cover solver")
+
+
+def _solve_ilp(core: CoverMatrix, options: SolverOptions) -> SolverOutcome:
+    result = ilp_cover(core, costs=options.costs)
+    return SolverOutcome(result.selected, result.optimal)
+
+
+def _solve_bnb(core: CoverMatrix, options: SolverOptions) -> SolverOutcome:
+    result = branch_and_bound(core, costs=options.costs)
+    return SolverOutcome(result.selected, result.optimal)
+
+
+def _solve_grasp(core: CoverMatrix, options: SolverOptions) -> SolverOutcome:
+    if options.costs is not None:
+        raise ValueError("grasp does not support weighted covering")
+    result = grasp_cover(
+        core, seed=options.seed, iterations=options.grasp_iterations
+    )
+    return SolverOutcome(result.selected, optimal=False)
+
+
+def _solve_greedy(core: CoverMatrix, options: SolverOptions) -> SolverOutcome:
+    from repro.setcover.greedy import drop_redundant, greedy_cover
+
+    selected = drop_redundant(core, greedy_cover(core, options.costs))
+    return SolverOutcome(selected, optimal=False)
+
+
+SOLVER_REGISTRY.register("ilp", _solve_ilp)
+SOLVER_REGISTRY.register("bnb", _solve_bnb)
+SOLVER_REGISTRY.register("grasp", _solve_grasp)
+SOLVER_REGISTRY.register("greedy", _solve_greedy)
+
+
+def solver_names() -> list[str]:
+    """All registered solver names (excluding the ``auto`` pseudo-method)."""
+    return SOLVER_REGISTRY.names()

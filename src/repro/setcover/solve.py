@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.setcover.exact import branch_and_bound
-from repro.setcover.heuristic import grasp_cover
-from repro.setcover.ilp import ilp_cover
 from repro.setcover.matrix import CoverMatrix
 from repro.setcover.reduce import reduce_matrix
+from repro.setcover.registry import SOLVER_REGISTRY, SolverOptions
+from repro.utils.registry import UnknownComponentError
 
 #: Core sizes (rows * columns) above which `auto` switches to GRASP.
 AUTO_EXACT_CELL_LIMIT = 250_000
@@ -75,9 +74,16 @@ def solve_cover(
     ``costs`` switches the objective from minimum cardinality to minimum
     total row cost (the exact solvers and greedy honour it; GRASP is
     cardinality-only and rejects it).
+
+    Solvers are looked up in :data:`~repro.setcover.registry.SOLVER_REGISTRY`;
+    an unregistered ``method`` raises
+    :class:`~repro.utils.registry.UnknownComponentError` (a ``ValueError``
+    subclass) with "did you mean" suggestions.
     """
-    if method not in ("auto", "ilp", "bnb", "grasp", "greedy"):
-        raise ValueError(f"unknown method {method!r}")
+    if method != "auto" and method not in SOLVER_REGISTRY:
+        raise UnknownComponentError(
+            "cover method", method, ["auto", *SOLVER_REGISTRY.names()]
+        )
     initial_shape = matrix.shape
     reduction = reduce_matrix(matrix, costs=costs)
     core = reduction.core
@@ -89,29 +95,13 @@ def solve_cover(
         chosen_method = method
         if method == "auto":
             chosen_method = "ilp" if cells <= AUTO_EXACT_CELL_LIMIT else "grasp"
-        if chosen_method == "grasp" and costs is not None:
-            raise ValueError("grasp does not support weighted covering")
-        if chosen_method == "ilp":
-            ilp = ilp_cover(core, costs=costs)
-            core_selected = ilp.selected
-            optimal = ilp.optimal
-            solver = "ilp"
-        elif chosen_method == "bnb":
-            bnb = branch_and_bound(core, costs=costs)
-            core_selected = bnb.selected
-            optimal = bnb.optimal
-            solver = "bnb"
-        elif chosen_method == "grasp":
-            grasp = grasp_cover(core, seed=seed, iterations=grasp_iterations)
-            core_selected = grasp.selected
-            optimal = False
-            solver = "grasp"
-        else:  # greedy
-            from repro.setcover.greedy import drop_redundant, greedy_cover
-
-            core_selected = drop_redundant(core, greedy_cover(core, costs))
-            optimal = False
-            solver = "greedy"
+        options = SolverOptions(
+            seed=seed, grasp_iterations=grasp_iterations, costs=costs
+        )
+        outcome = SOLVER_REGISTRY.get(chosen_method)(core, options)
+        core_selected = outcome.selected
+        optimal = outcome.optimal
+        solver = chosen_method
     selected = sorted(set(reduction.essential_rows) | set(core_selected))
     if not matrix.validate_solution(selected):
         raise AssertionError("solver produced a non-covering solution")

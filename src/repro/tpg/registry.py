@@ -1,4 +1,11 @@
-"""Name-based TPG construction for experiment drivers and examples."""
+"""Name-based TPG construction for experiment drivers and examples.
+
+The registry is a :class:`repro.utils.registry.Registry`, so unknown
+names raise :class:`~repro.utils.registry.UnknownComponentError` with
+"did you mean" suggestions (the error remains a ``KeyError`` subclass
+for backwards compatibility).  Downstream code can plug in custom
+generators with ``TPG_REGISTRY.register(name, factory)``.
+"""
 
 from __future__ import annotations
 
@@ -11,14 +18,14 @@ from repro.tpg.accumulator import (
 )
 from repro.tpg.base import TestPatternGenerator
 from repro.tpg.lfsr import Lfsr, MultiPolynomialLfsr
+from repro.utils.registry import Registry
 
-TPG_REGISTRY: dict[str, Callable[[int], TestPatternGenerator]] = {
-    "adder": AdderAccumulator,
-    "subtracter": SubtracterAccumulator,
-    "multiplier": MultiplierAccumulator,
-    "lfsr": Lfsr,
-    "mp-lfsr": MultiPolynomialLfsr,
-}
+TPG_REGISTRY: Registry[Callable[[int], TestPatternGenerator]] = Registry("TPG")
+TPG_REGISTRY.register("adder", AdderAccumulator)
+TPG_REGISTRY.register("subtracter", SubtracterAccumulator)
+TPG_REGISTRY.register("multiplier", MultiplierAccumulator)
+TPG_REGISTRY.register("lfsr", Lfsr)
+TPG_REGISTRY.register("mp-lfsr", MultiPolynomialLfsr)
 
 #: The three generators of the paper's Tables 1 and 2, in table order.
 PAPER_TPGS: tuple[str, ...] = ("adder", "multiplier", "subtracter")
@@ -26,12 +33,9 @@ PAPER_TPGS: tuple[str, ...] = ("adder", "multiplier", "subtracter")
 
 def tpg_names() -> list[str]:
     """All registered TPG names."""
-    return list(TPG_REGISTRY)
+    return TPG_REGISTRY.names()
 
 
 def make_tpg(name: str, width: int) -> TestPatternGenerator:
     """Instantiate a registered TPG by name for a ``width``-bit UUT."""
-    factory = TPG_REGISTRY.get(name)
-    if factory is None:
-        raise KeyError(f"unknown TPG {name!r}; known: {', '.join(TPG_REGISTRY)}")
-    return factory(width)
+    return TPG_REGISTRY.get(name)(width)

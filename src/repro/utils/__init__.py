@@ -1,13 +1,16 @@
 """Shared low-level utilities: bit vectors, RNG streams, ASCII tables."""
 
 from repro.utils.bitvec import BitVector, pack_patterns, unpack_words
+from repro.utils.registry import Registry, UnknownComponentError
 from repro.utils.rng import RngStream, derive_seed
 from repro.utils.tables import AsciiTable
 
 __all__ = [
     "AsciiTable",
     "BitVector",
+    "Registry",
     "RngStream",
+    "UnknownComponentError",
     "derive_seed",
     "pack_patterns",
     "unpack_words",

@@ -1,0 +1,95 @@
+"""Named-component registries with uniform lookup errors.
+
+The library dispatches several families of pluggable components by
+name: test pattern generators (``repro.tpg.registry``), covering
+solvers (``repro.setcover.registry``) and flow stages
+(``repro.flow.stages``).  Before this module each family invented its
+own lookup error (``make_tpg`` raised a bare ``KeyError`` while the
+cover ``method=`` path raised ``ValueError``), so callers could not
+handle "unknown component" uniformly.  :class:`Registry` gives every
+family the same ``register`` / ``names`` / ``create`` surface, and
+:class:`UnknownComponentError` — a subclass of *both* ``KeyError`` and
+``ValueError`` for backwards compatibility — carries a "did you mean"
+suggestion computed from the registered names.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Generic, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class UnknownComponentError(KeyError, ValueError):
+    """An unregistered component name was requested.
+
+    Subclasses both ``KeyError`` (the historical ``make_tpg`` contract)
+    and ``ValueError`` (the historical ``solve_cover(method=...)``
+    contract) so existing ``except``/``pytest.raises`` sites keep
+    working while new code can catch the precise type.
+    """
+
+    def __init__(
+        self, kind: str, name: str, known: Iterable[str]
+    ) -> None:
+        known = sorted(known)
+        message = f"unknown {kind} {name!r}; known: {', '.join(known) or '(none)'}"
+        suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.5)
+        if suggestions:
+            message += f" — did you mean {' or '.join(map(repr, suggestions))}?"
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.known = known
+        self.suggestions = suggestions
+
+    def __str__(self) -> str:
+        # KeyError.__str__ wraps the message in quotes; report it plainly.
+        return self.args[0]
+
+
+class Registry(Generic[T]):
+    """A name -> factory mapping with uniform error reporting.
+
+    ``kind`` names the component family in error messages ("TPG",
+    "cover solver", "stage", ...).  The mapping API (``in``, ``len``,
+    iteration, ``[]``) mirrors a plain dict so existing callers of the
+    module-level registry dicts keep working.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, T] = {}
+
+    def register(self, name: str, factory: T) -> T:
+        """Register ``factory`` under ``name`` (last registration wins).
+
+        Returns the factory so the method doubles as a decorator body.
+        """
+        self._factories[name] = factory
+        return factory
+
+    def names(self) -> list[str]:
+        """All registered names, in registration order."""
+        return list(self._factories)
+
+    def get(self, name: str) -> T:
+        """The factory for ``name``; raises :class:`UnknownComponentError`
+        (with suggestions) when unregistered."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise UnknownComponentError(self.kind, name, self._factories) from None
+
+    def __getitem__(self, name: str) -> T:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)

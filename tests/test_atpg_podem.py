@@ -9,7 +9,6 @@ from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit, Gate
 from repro.faults.model import Fault, full_fault_list
 from repro.sim.event import ReferenceSimulator
-from repro.utils.rng import RngStream
 
 
 def _verify_cube(circuit, fault, cube, rng):

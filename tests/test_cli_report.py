@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -64,6 +66,137 @@ class TestCli:
         text = parser.format_help()
         for name in ("table1", "table2", "figure2"):
             assert name in text
+
+    def test_parser_has_sweep_subcommand(self):
+        assert "sweep" in build_parser().format_help()
+
+    def test_experiment_delegation_forwards_flags(self, capsys):
+        """Flags after `table1`/... must reach the experiment's parser
+        (argparse REMAINDER stopped doing this on Python >= 3.11)."""
+        assert (
+            main(
+                [
+                    "table1",
+                    "--circuits",
+                    "c17",
+                    "--no-gatsby",
+                    "--evolution-length",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "c17" in out and "Table 1" in out
+
+
+class TestCliJson:
+    def test_catalog_json(self, capsys):
+        assert main(["catalog", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in entries}
+        assert {"c17", "s27", "s15850"} <= names
+        c17 = next(e for e in entries if e["name"] == "c17")
+        assert c17["embedded"] is True and c17["gates"] == 6
+
+    def test_run_json_round_trips(self, capsys):
+        from repro.flow.pipeline import PipelineResult
+
+        assert (
+            main(
+                [
+                    "run",
+                    "--circuit",
+                    "c17",
+                    "--evolution-length",
+                    "8",
+                    "--max-random-patterns",
+                    "128",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        result = PipelineResult.from_dict(payload)
+        assert result.circuit_name == "c17"
+        assert result.n_triplets >= 1
+
+    def test_run_exposes_new_knobs(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--circuit",
+                    "c17",
+                    "--evolution-length",
+                    "8",
+                    "--max-random-patterns",
+                    "64",
+                    "--backtrack-limit",
+                    "100",
+                    "--grasp-iterations",
+                    "5",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        config = json.loads(capsys.readouterr().out)["config"]
+        assert config["max_random_patterns"] == 64
+        assert config["backtrack_limit"] == 100
+        assert config["grasp_iterations"] == 5
+
+
+class TestCliSweep:
+    def test_sweep_table_output(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--circuits",
+                    "c17",
+                    "s27",
+                    "--tpgs",
+                    "adder",
+                    "--evolution-lengths",
+                    "8",
+                    "--max-random-patterns",
+                    "128",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "c17" in out and "s27" in out
+        assert "0/2 cells served from the artifact cache" in out
+
+    def test_sweep_json_with_warm_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--circuits",
+            "c17",
+            "--tpgs",
+            "adder",
+            "multiplier",
+            "--evolution-lengths",
+            "8",
+            "--max-random-patterns",
+            "128",
+            "--cache",
+            str(tmp_path),
+            "--json",
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert [c["from_cache"] for c in cold["cells"]] == [False, False]
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert [c["from_cache"] for c in warm["cells"]] == [True, True]
+        assert warm["cache"]["hits"] == 2
+        for a, b in zip(cold["cells"], warm["cells"]):
+            assert a["n_triplets"] == b["n_triplets"]
+            assert a["test_length"] == b["test_length"]
 
 
 class TestSolutionReport:

@@ -1,0 +1,276 @@
+"""Tests for the flow-layer redesign: sessions, stages, cache, serde."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.flow.pipeline import PipelineConfig, PipelineResult, ReseedingPipeline
+from repro.flow.serialize import SCHEMA_VERSION, SchemaMismatchError
+from repro.flow.session import ArtifactCache, Session
+from repro.flow.stages import (
+    DEFAULT_STAGES,
+    StageContext,
+    StageEvent,
+    make_stage,
+    run_flow,
+    stage_names,
+)
+from repro.sim.fault import FaultSimulator
+from repro.utils.registry import UnknownComponentError
+
+CONFIG = PipelineConfig(evolution_length=8, max_random_patterns=128)
+
+
+@pytest.fixture(scope="module")
+def c17():
+    return load_circuit("c17")
+
+
+@pytest.fixture(scope="module")
+def baseline(c17):
+    """The compatibility wrapper's result — the bit-exactness reference."""
+    return ReseedingPipeline(c17, "adder", CONFIG).run()
+
+
+class TestStages:
+    def test_registry_contents(self):
+        assert stage_names() == list(DEFAULT_STAGES)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(UnknownComponentError, match="unknown stage"):
+            make_stage("atgp")
+
+    def test_unknown_stage_suggests(self):
+        with pytest.raises(UnknownComponentError, match="did you mean"):
+            make_stage("atgp")
+
+    def test_run_flow_matches_pipeline(self, c17, baseline):
+        ctx = StageContext(
+            circuit=c17,
+            tpg=ReseedingPipeline(c17, "adder", CONFIG).tpg,
+            config=CONFIG,
+            simulator=FaultSimulator(c17),
+        )
+        result = run_flow(ctx)
+        assert result.n_triplets == baseline.n_triplets
+        assert result.test_length == baseline.test_length
+        assert result.selected_triplets == baseline.selected_triplets
+
+    def test_progress_events(self, c17):
+        events: list[StageEvent] = []
+        ReseedingPipeline(c17, "adder", CONFIG).run(progress=events.append)
+        stages = [e.stage for e in events if e.status == "start"]
+        assert stages == list(DEFAULT_STAGES)
+        done = [e.stage for e in events if e.status == "done"]
+        assert done == list(DEFAULT_STAGES)
+        assert all(e.seconds >= 0 for e in events)
+
+    def test_preseeded_atpg_emits_skipped(self, c17, baseline):
+        events: list[StageEvent] = []
+        pipeline = ReseedingPipeline(
+            c17, "adder", CONFIG, atpg_result=baseline.atpg
+        )
+        pipeline.run(progress=events.append)
+        statuses = {e.stage: e.status for e in events if e.status != "start"}
+        assert statuses["atpg"] == "skipped"
+        assert statuses["trim"] == "done"
+
+    def test_missing_requirement_rejected(self, c17):
+        ctx = StageContext(
+            circuit=c17,
+            tpg=ReseedingPipeline(c17, "adder", CONFIG).tpg,
+            config=CONFIG,
+            simulator=FaultSimulator(c17),
+        )
+        with pytest.raises(ValueError, match="missing required artifacts"):
+            make_stage("set_cover").execute(ctx)
+
+    def test_partial_flow_resumes_from_artifacts(self, c17, baseline):
+        """Seeding upstream artefacts lets a flow start mid-chain."""
+        ctx = StageContext(
+            circuit=c17,
+            tpg=ReseedingPipeline(c17, "adder", CONFIG).tpg,
+            config=CONFIG,
+            simulator=FaultSimulator(c17),
+        )
+        ctx.artifacts["atpg"] = baseline.atpg
+        ctx.artifacts["initial"] = baseline.initial
+        result = run_flow(ctx, ["set_cover", "trim"])
+        assert result.n_triplets == baseline.n_triplets
+        assert result.test_length == baseline.test_length
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self, baseline):
+        clone = PipelineResult.from_dict(json.loads(baseline.to_json()))
+        assert clone.circuit_name == baseline.circuit_name
+        assert clone.tpg_name == baseline.tpg_name
+        assert clone.config == baseline.config
+        assert clone.n_triplets == baseline.n_triplets
+        assert clone.test_length == baseline.test_length
+        assert clone.atpg.test_set == baseline.atpg.test_set
+        assert clone.atpg.target_faults == baseline.atpg.target_faults
+        assert clone.initial.triplets == baseline.initial.triplets
+        assert (
+            clone.initial.detection_matrix.matrix
+            == baseline.initial.detection_matrix.matrix
+        ).all()
+        assert clone.cover.selected == baseline.cover.selected
+        assert clone.cover.stats == baseline.cover.stats
+        assert clone.selected_triplets == baseline.selected_triplets
+        assert clone.trimmed.solution == baseline.trimmed.solution
+        assert clone.trimmed.delta_coverage == baseline.trimmed.delta_coverage
+        assert clone.timings == baseline.timings
+
+    def test_dict_is_json_compatible(self, baseline):
+        text = json.dumps(baseline.to_dict())
+        assert json.loads(text)["schema_version"] == SCHEMA_VERSION
+
+    def test_atpg_round_trip(self, baseline):
+        from repro.atpg.engine import AtpgResult
+
+        clone = AtpgResult.from_dict(json.loads(json.dumps(baseline.atpg.to_dict())))
+        assert clone.test_set == baseline.atpg.test_set
+        assert clone.target_faults == baseline.atpg.target_faults
+        assert clone.untestable == baseline.atpg.untestable
+        assert clone.n_collapsed_faults == baseline.atpg.n_collapsed_faults
+
+    def test_schema_version_checked(self, baseline):
+        payload = baseline.to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaMismatchError):
+            PipelineResult.from_dict(payload)
+
+    def test_kind_checked(self, baseline):
+        payload = baseline.to_dict()
+        payload["kind"] = "atpg_result"
+        with pytest.raises(SchemaMismatchError):
+            PipelineResult.from_dict(payload)
+
+
+class TestSession:
+    def test_session_matches_pipeline(self, c17, baseline):
+        session = Session(c17, config=CONFIG)
+        result = session.run("adder")
+        assert result.n_triplets == baseline.n_triplets
+        assert result.test_length == baseline.test_length
+        assert result.selected_triplets == baseline.selected_triplets
+
+    def test_atpg_shared_across_tpgs(self, c17):
+        session = Session(c17, config=CONFIG)
+        a = session.run("adder")
+        b = session.run("multiplier")
+        assert a.atpg is session.atpg_result
+        assert b.atpg is session.atpg_result
+
+    def test_from_name_records_scale(self):
+        session = Session.from_name("s27", scale=1.0, config=CONFIG)
+        assert session.name == "s27"
+        assert session.scale == 1.0
+
+    def test_cache_miss_then_hit(self, tmp_path, baseline):
+        cache = ArtifactCache(tmp_path)
+        session = Session.from_name("c17", config=CONFIG, cache=cache)
+        first = session.run("adder")
+        assert cache.hits_for("pipeline_result") == 0
+        assert cache.misses_for("pipeline_result") == 1
+
+        # A brand-new session (fresh process simulation): full hit.
+        cache2 = ArtifactCache(tmp_path)
+        session2 = Session.from_name("c17", config=CONFIG, cache=cache2)
+        second = session2.run("adder")
+        assert cache2.hits_for("pipeline_result") == 1
+        assert cache2.misses_for("atpg_result") == 0  # never even consulted
+        assert second.n_triplets == first.n_triplets
+        assert second.test_length == first.test_length
+        assert second.selected_triplets == first.selected_triplets
+
+    def test_warm_atpg_cache_skips_atpg(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        session = Session.from_name("c17", config=CONFIG, cache=cache)
+        session.atpg_result
+        assert cache.misses_for("atpg_result") == 1
+
+        cache2 = ArtifactCache(tmp_path)
+        warm = Session.from_name("c17", config=CONFIG, cache=cache2)
+        events: list[StageEvent] = []
+        warm.progress = events.append
+        warm.atpg_result
+        assert cache2.hits_for("atpg_result") == 1
+        assert [e.status for e in events] == ["cache-hit"]
+
+    def test_cache_key_varies_with_config_and_circuit(self):
+        base = ArtifactCache.key("pipeline_result", circuit="c17", seed=1)
+        assert base != ArtifactCache.key("pipeline_result", circuit="c17", seed=2)
+        assert base != ArtifactCache.key("pipeline_result", circuit="s27", seed=1)
+        assert base != ArtifactCache.key("atpg_result", circuit="c17", seed=1)
+        assert base == ArtifactCache.key("pipeline_result", circuit="c17", seed=1)
+
+    def test_corrupt_cache_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        session = Session.from_name("c17", config=CONFIG, cache=cache)
+        session.run("adder")
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{not json")
+        cache2 = ArtifactCache(tmp_path)
+        session2 = Session.from_name("c17", config=CONFIG, cache=cache2)
+        result = session2.run("adder")
+        assert cache2.hits == 0
+        assert result.n_triplets >= 1
+
+    def test_cache_key_distinguishes_scales(self, tmp_path):
+        """Same catalog name at two scales must never share cache
+        entries — the netlist fingerprint in the key separates them."""
+        config = PipelineConfig(evolution_length=8, max_random_patterns=64)
+        small = Session.from_name("s420", scale=0.15, config=config, cache=tmp_path)
+        small_result = small.run("adder")
+        big = Session.from_name(
+            "s420", scale=0.5, config=config, cache=ArtifactCache(tmp_path)
+        )
+        big_result = big.run("adder")
+        assert big.cache.hits == 0
+        fresh = Session.from_name("s420", scale=0.5, config=config).run("adder")
+        assert (big_result.n_triplets, big_result.test_length) == (
+            fresh.n_triplets,
+            fresh.test_length,
+        )
+        assert small.circuit_fingerprint != big.circuit_fingerprint
+        assert small_result.circuit_name == big_result.circuit_name == "s420"
+
+    def test_matrix_workers_does_not_invalidate_cache(self, tmp_path):
+        """Performance-only knobs must not miss the result cache."""
+        from dataclasses import replace
+
+        Session.from_name("c17", config=CONFIG, cache=tmp_path).run("adder")
+        warm = ArtifactCache(tmp_path)
+        workers_config = replace(CONFIG, matrix_workers=4)
+        session = Session.from_name("c17", config=workers_config, cache=warm)
+        session.run("adder", config=workers_config)
+        assert warm.hits_for("pipeline_result") == 1
+
+    def test_atpg_memoized_per_knob_set(self, c17):
+        """Two configs with different ATPG knobs cost exactly two ATPG
+        runs regardless of how many TPG flows consume them."""
+        from dataclasses import replace
+
+        session = Session(c17, config=CONFIG)
+        seed2 = replace(CONFIG, seed=CONFIG.seed + 1)
+        a1 = session.run("adder").atpg
+        m1 = session.run("multiplier").atpg
+        a2 = session.run("adder", config=seed2).atpg
+        m2 = session.run("multiplier", config=seed2).atpg
+        assert a1 is m1
+        assert a2 is m2
+        assert a1 is not a2
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        session = Session.from_name("c17", config=CONFIG, cache=cache)
+        session.run("adder")
+        before = cache.hits
+        session2 = Session.from_name("c17", config=CONFIG, cache=cache)
+        session2.run("adder", use_cache=False)
+        assert cache.hits_for("pipeline_result") == before

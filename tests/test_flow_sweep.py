@@ -1,0 +1,146 @@
+"""Tests for the sweep orchestrator (grids, cache warm-start, pool)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flow.pipeline import PipelineConfig
+from repro.flow.session import ArtifactCache
+from repro.flow.sweep import sweep
+
+CONFIG = PipelineConfig(evolution_length=8, max_random_patterns=128)
+CIRCUITS = ["c17", "s27"]
+TPGS = ["adder", "multiplier"]
+
+
+@pytest.fixture(scope="module")
+def cold_grid():
+    return sweep(CIRCUITS, TPGS, configs=[CONFIG])
+
+
+class TestSweepGrid:
+    def test_full_grid_in_deterministic_order(self, cold_grid):
+        cells = [(o.circuit, o.tpg, o.config_index) for o in cold_grid]
+        assert cells == [
+            ("c17", "adder", 0),
+            ("c17", "multiplier", 0),
+            ("s27", "adder", 0),
+            ("s27", "multiplier", 0),
+        ]
+
+    def test_nothing_cached_without_cache(self, cold_grid):
+        assert cold_grid.n_cached == 0
+
+    def test_get_cell(self, cold_grid):
+        outcome = cold_grid.get("s27", "adder")
+        assert outcome.circuit == "s27"
+        assert outcome.result.tpg_name == "adder"
+        with pytest.raises(KeyError):
+            cold_grid.get("s27", "lfsr")
+
+    def test_atpg_shared_within_circuit(self, cold_grid):
+        a = cold_grid.get("c17", "adder").result
+        b = cold_grid.get("c17", "multiplier").result
+        assert a.atpg is b.atpg
+
+    def test_evolution_lengths_expand_configs(self):
+        grid = sweep(
+            ["c17"], ["adder"], base_config=CONFIG, evolution_lengths=[4, 8]
+        )
+        assert [o.config.evolution_length for o in grid] == [4, 8]
+        assert all(
+            o.config.max_random_patterns == CONFIG.max_random_patterns
+            for o in grid
+        )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep([], ["adder"])
+        with pytest.raises(ValueError):
+            sweep(["c17"], [])
+
+
+class TestSweepCache:
+    def test_warm_cache_skips_atpg(self, tmp_path, cold_grid):
+        """The acceptance scenario: 2 circuits x 2 TPGs, cold then warm —
+        the warm sweep must serve every cell from the cache and never
+        re-run (nor even re-load) ATPG, asserted via the hit counters."""
+        cold_cache = ArtifactCache(tmp_path)
+        cold = sweep(CIRCUITS, TPGS, configs=[CONFIG], cache=cold_cache)
+        assert cold.n_cached == 0
+        assert cold_cache.misses_for("pipeline_result") == 4
+
+        warm_cache = ArtifactCache(tmp_path)
+        warm = sweep(CIRCUITS, TPGS, configs=[CONFIG], cache=warm_cache)
+        assert warm.n_cached == len(warm) == 4
+        assert warm_cache.hits_for("pipeline_result") == 4
+        assert warm_cache.misses_for("pipeline_result") == 0
+        # ATPG was skipped outright: the cached full results short-circuit
+        # before the ATPG artefact is even consulted.
+        assert warm_cache.hits_for("atpg_result") == 0
+        assert warm_cache.misses_for("atpg_result") == 0
+        for a, b in zip(cold, warm):
+            assert a.result.n_triplets == b.result.n_triplets
+            assert a.result.test_length == b.result.test_length
+            assert a.result.selected_triplets == b.result.selected_triplets
+
+    def test_partial_warm_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        sweep(["c17"], ["adder"], configs=[CONFIG], cache=cache)
+        grid = sweep(CIRCUITS, TPGS, configs=[CONFIG], cache=ArtifactCache(tmp_path))
+        assert grid.n_cached == 1
+        assert grid.get("c17", "adder").from_cache
+
+    def test_cache_accepts_plain_path(self, tmp_path):
+        sweep(["c17"], ["adder"], configs=[CONFIG], cache=tmp_path)
+        grid = sweep(["c17"], ["adder"], configs=[CONFIG], cache=str(tmp_path))
+        assert grid.n_cached == 1
+
+
+class TestSweepParallel:
+    def test_process_pool_matches_serial(self, cold_grid):
+        grid = sweep(CIRCUITS, TPGS, configs=[CONFIG], workers=2)
+        assert len(grid) == len(cold_grid)
+        for parallel, serial in zip(grid, cold_grid):
+            assert parallel.circuit == serial.circuit
+            assert parallel.tpg == serial.tpg
+            assert parallel.result.n_triplets == serial.result.n_triplets
+            assert parallel.result.test_length == serial.result.test_length
+            assert (
+                parallel.result.selected_triplets
+                == serial.result.selected_triplets
+            )
+
+    def test_process_pool_uses_cache_dir(self, tmp_path):
+        sweep(CIRCUITS, TPGS, configs=[CONFIG], cache=tmp_path, workers=2)
+        warm = sweep(CIRCUITS, TPGS, configs=[CONFIG], cache=tmp_path, workers=2)
+        assert warm.n_cached == 4
+
+
+class TestTradeoffClient:
+    def test_tradeoff_unchanged_by_redesign(self):
+        """explore_tradeoff, now a sweep client, keeps its contract."""
+        from repro.circuits import load_circuit
+        from repro.flow.tradeoff import explore_tradeoff
+
+        circuit = load_circuit("c17")
+        points = explore_tradeoff(circuit, "adder", [1, 4, 16], config=CONFIG)
+        assert [p.evolution_length for p in points] == [1, 4, 16]
+        counts = [p.n_triplets for p in points]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_tradeoff_with_cache(self, tmp_path):
+        from repro.circuits import load_circuit
+        from repro.flow.tradeoff import explore_tradeoff
+
+        circuit = load_circuit("c17")
+        cache = ArtifactCache(tmp_path)
+        first = explore_tradeoff(
+            circuit, "adder", [2, 8], config=CONFIG, cache=cache
+        )
+        warm_cache = ArtifactCache(tmp_path)
+        second = explore_tradeoff(
+            circuit, "adder", [2, 8], config=CONFIG, cache=warm_cache
+        )
+        assert warm_cache.hits_for("pipeline_result") == 2
+        assert [p.as_tuple() for p in first] == [p.as_tuple() for p in second]

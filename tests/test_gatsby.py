@@ -7,7 +7,6 @@ import pytest
 from repro.circuits import load_circuit
 from repro.atpg.engine import AtpgEngine
 from repro.gatsby import GaConfig, GatsbyReseeder, GeneticAlgorithm
-from repro.sim.fault import FaultSimulator
 from repro.tpg import AdderAccumulator
 from repro.utils.bitvec import BitVector
 from repro.utils.rng import RngStream

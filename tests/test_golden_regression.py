@@ -73,6 +73,50 @@ def test_fault_coverage_pinned(name):
     )
 
 
+#: End-to-end flow pins (scale 0.25, adder TPG, T=16, 512 random
+#: patterns, seed 2001): Table-1's (#Triplets, TestLength) per circuit.
+#: The stage/session machinery must reproduce these bit-identically to
+#: the pre-stage pipeline implementation.
+GOLDEN_PIPELINE: dict[str, tuple[int, int]] = {
+    "c499": (4, 52),
+    "c880": (7, 81),
+    "s420": (1, 14),
+}
+
+_PIPELINE_SCALE = 0.25
+
+
+def _golden_pipeline_config():
+    from repro.flow.pipeline import PipelineConfig
+
+    return PipelineConfig(evolution_length=16, max_random_patterns=512)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PIPELINE))
+def test_pipeline_results_pinned(name):
+    """`ReseedingPipeline.run()` through the stage machinery keeps the
+    exact #Triplets / TestLength of the seed implementation."""
+    from repro.flow.pipeline import ReseedingPipeline
+
+    circuit = load_circuit(name, scale=_PIPELINE_SCALE)
+    result = ReseedingPipeline(circuit, "adder", _golden_pipeline_config()).run()
+    assert (result.n_triplets, result.test_length) == GOLDEN_PIPELINE[name]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PIPELINE))
+def test_session_agrees_with_pipeline_pins(name):
+    """The Session/stage path and a cache round trip reproduce the pins."""
+    from repro.flow.session import Session
+
+    session = Session.from_name(
+        name, scale=_PIPELINE_SCALE, config=_golden_pipeline_config()
+    )
+    result = session.run("adder")
+    assert (result.n_triplets, result.test_length) == GOLDEN_PIPELINE[name]
+    clone = type(result).from_dict(result.to_dict())
+    assert (clone.n_triplets, clone.test_length) == GOLDEN_PIPELINE[name]
+
+
 @pytest.mark.slow
 def test_serial_engine_agrees_with_golden_c499():
     """The legacy baseline reproduces the same pinned numbers — the pins

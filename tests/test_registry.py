@@ -1,0 +1,87 @@
+"""Tests for the shared component registry and its uniform errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.setcover.matrix import CoverMatrix
+from repro.setcover.registry import SOLVER_REGISTRY, solver_names
+from repro.setcover.solve import solve_cover
+from repro.tpg.registry import TPG_REGISTRY, make_tpg
+from repro.utils.registry import Registry, UnknownComponentError
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry: Registry[type] = Registry("widget")
+        registry.register("a", int)
+        assert registry.get("a") is int
+        assert registry["a"] is int
+        assert "a" in registry and "b" not in registry
+        assert registry.names() == ["a"]
+        assert len(registry) == 1 and list(registry) == ["a"]
+
+    def test_unknown_component_error_is_both_kinds(self):
+        registry: Registry[type] = Registry("widget")
+        registry.register("gizmo", int)
+        with pytest.raises(KeyError):
+            registry.get("gadget")
+        with pytest.raises(ValueError):
+            registry.get("gadget")
+
+    def test_suggestions(self):
+        registry: Registry[type] = Registry("widget")
+        registry.register("multiplier", int)
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry.get("multiplyer")
+        assert excinfo.value.suggestions == ["multiplier"]
+        assert "did you mean 'multiplier'" in str(excinfo.value)
+
+    def test_error_str_is_plain(self):
+        error = UnknownComponentError("widget", "x", ["y"])
+        assert str(error).startswith("unknown widget 'x'")
+
+
+class TestTpgRegistry:
+    def test_known_names(self):
+        assert {"adder", "subtracter", "multiplier", "lfsr", "mp-lfsr"} <= set(
+            TPG_REGISTRY.names()
+        )
+
+    def test_make_tpg_suggests_close_name(self):
+        with pytest.raises(UnknownComponentError, match="did you mean 'adder'"):
+            make_tpg("addr", 8)
+
+    def test_make_tpg_still_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown TPG"):
+            make_tpg("quantum", 8)
+
+    def test_custom_registration(self):
+        from repro.tpg.lfsr import Lfsr
+
+        TPG_REGISTRY.register("test-only-lfsr", Lfsr)
+        try:
+            assert make_tpg("test-only-lfsr", 8).width == 8
+        finally:
+            TPG_REGISTRY._factories.pop("test-only-lfsr")
+
+
+class TestSolverRegistry:
+    def test_known_solvers(self):
+        assert solver_names() == ["ilp", "bnb", "grasp", "greedy"]
+
+    def test_solve_cover_rejects_unknown_with_suggestion(self):
+        matrix = CoverMatrix.from_row_sets({0: [0, 1], 1: [1, 2], 2: [0, 2]})
+        with pytest.raises(UnknownComponentError, match="did you mean 'greedy'"):
+            solve_cover(matrix, method="gredy")
+
+    def test_solve_cover_unknown_still_valueerror(self):
+        matrix = CoverMatrix.from_row_sets({0: [0, 1], 1: [1, 2], 2: [0, 2]})
+        with pytest.raises(ValueError):
+            solve_cover(matrix, method="magic")
+
+    def test_all_registered_solvers_usable_via_solve_cover(self):
+        matrix = CoverMatrix.from_row_sets({0: [0, 1], 1: [1, 2], 2: [0, 2]})
+        for name in SOLVER_REGISTRY.names():
+            solution = solve_cover(matrix, method=name)
+            assert matrix.validate_solution(solution.selected)

@@ -8,7 +8,6 @@ import pytest
 
 from repro.atpg.engine import AtpgEngine
 from repro.circuits import load_circuit
-from repro.faults.model import full_fault_list
 from repro.reseeding import (
     DetectionMatrix,
     InitialReseedingBuilder,
@@ -17,7 +16,6 @@ from repro.reseeding import (
     build_detection_matrix,
     trim_solution,
 )
-from repro.sim.fault import FaultSimulator
 from repro.tpg import AdderAccumulator, make_tpg
 from repro.utils.bitvec import BitVector
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.atpg.engine import AtpgEngine
 from repro.circuits import load_circuit

@@ -8,7 +8,6 @@ from repro.faults.model import Fault
 from repro.sim.event import ReferenceSimulator
 from repro.sim.misr import Misr, aliasing_rate, golden_signature
 from repro.utils.bitvec import BitVector
-from repro.utils.rng import RngStream
 
 
 class TestMisrMechanics:
