@@ -9,9 +9,33 @@ not part of the measured covering flow.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.common import CircuitWorkspace, ExperimentConfig
+
+#: Repository root — machine-readable benchmark documents land here.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_bench_json(filename: str, payload: dict) -> None:
+    """Write one ``BENCH_*.json`` perf document at the repo root.
+
+    The files are the machine-readable perf trajectory: every benchmark
+    run refreshes them, so tooling (and future PRs) can diff throughput
+    without scraping pytest output.
+    """
+    document = {"schema": 1, **payload}
+    (REPO_ROOT / filename).write_text(json.dumps(document, indent=2) + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_json_writer():
+    """The ``BENCH_*.json`` writer, as a fixture so benchmark modules
+    need no import path to the conftest."""
+    return write_bench_json
 
 #: Circuit size factor for benchmarks (1.0 = real ISCAS sizes).
 BENCH_SCALE = 0.2

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diagnose a failing BIST session, three ways.
+
+The mirror image of ``full_bist_session.py``: that example shows a
+signature mismatch flagging a defective die; this one takes the next
+step and asks *which fault* caused it.
+
+1. inject a known stuck-at fault and capture the fail log (what an ATE
+   sees: per-pattern responses, final MISR signature);
+2. **effect-cause** diagnosis: critical-path trace back from the
+   failing outputs, rank candidates by exact simulation;
+3. **signature-only** diagnosis: pretend only the final signature is
+   known, bisect the pattern sequence with O(log P) prefix-signature
+   re-runs, diagnose just the localised window;
+4. **dictionary** diagnosis: precompute the pass/fail dictionary once,
+   then diagnose with a pure lookup.
+
+Run: ``python examples/diagnose_bist_failure.py [--circuit c880] [--patterns 256]``
+"""
+
+import argparse
+
+from repro import load_circuit
+from repro.diagnosis import (
+    FaultDictionary,
+    SignatureBisector,
+    SimulatedTester,
+    choose_faults,
+    diagnose_effect_cause,
+    fault_representatives,
+    make_fail_log,
+    observed_fail_flags,
+)
+from repro.faults.collapse import collapse_faults
+from repro.sim.batch import BatchFaultSimulator
+from repro.sim.misr import Misr
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="c880")
+    parser.add_argument("--patterns", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=2001)
+    args = parser.parse_args()
+
+    uut = load_circuit(args.circuit)
+    simulator = BatchFaultSimulator(uut)
+    faults = collapse_faults(uut)
+    rng = RngStream(args.seed, "example", uut.name)
+    patterns = [BitVector.random(uut.n_inputs, rng) for _ in range(args.patterns)]
+    print(f"UUT: {uut}; {len(faults)} collapsed faults, {len(patterns)} patterns")
+
+    # 1. the defective die: one injected fault, drawn from the detectable set
+    detected = simulator.detected(patterns, faults)
+    detectable = [f for f, flag in zip(faults, detected) if flag]
+    culprit = choose_faults(detectable, 1, rng.child("pick"))[0]
+    fail_log = make_fail_log(uut, patterns, culprit, simulator.compiled)
+    representative = fault_representatives(uut)[culprit]
+    print(f"injected (hidden from the engines): {culprit}")
+
+    # 2. effect-cause on the full fail log
+    result = diagnose_effect_cause(
+        uut, patterns, fail_log.responses, faults=faults,
+        simulator=simulator, top_k=5,
+    )
+    print(f"\neffect-cause: {result.summary()}")
+    print(f"  culprit ranked #{result.rank_of(representative)}")
+
+    # 3. signature-only: bisect, then diagnose the window
+    misr = Misr(uut.n_outputs)
+    tester = SimulatedTester(fail_log, misr)
+    bisector = SignatureBisector(uut, patterns, misr, simulator=simulator)
+    sig_result = bisector.diagnose(tester, faults=faults, top_k=5)
+    lo, hi = sig_result.window
+    print(
+        f"\nsignature-only: window [{lo}, {hi}) after "
+        f"{sig_result.oracle_queries} prefix probes; re-simulated "
+        f"{sig_result.patterns_resimulated}/{len(patterns)} patterns "
+        f"({100 * sig_result.patterns_resimulated / len(patterns):.1f}%)"
+    )
+    print(f"  culprit ranked #{sig_result.rank_of(representative)}")
+
+    # 4. dictionary: pay once, diagnose for free forever
+    dictionary = FaultDictionary.build(uut, patterns, faults, simulator)
+    golden = simulator.compiled.simulate_patterns(patterns)
+    flags = observed_fail_flags(golden, fail_log.responses)
+    dict_result = dictionary.diagnose(flags, top_k=5)
+    print(
+        f"\ndictionary: {dictionary.n_patterns}x{dictionary.n_faults} bits "
+        f"packed into {dictionary.packed_bytes} bytes; lookup re-simulates "
+        f"{dict_result.patterns_resimulated} patterns"
+    )
+    print(f"  culprit ranked #{dict_result.rank_of(representative)}")
+
+
+if __name__ == "__main__":
+    main()

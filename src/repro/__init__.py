@@ -33,6 +33,16 @@ from repro.circuit import Circuit, Gate, GateType, parse_bench, write_bench
 from repro.circuits import CATALOG, PAPER_CIRCUITS, load_circuit
 from repro.faults import Fault, collapse_faults, full_fault_list
 from repro.sim import BatchFaultSimulator, CompiledCircuit, FaultSimulator
+from repro.diagnosis import (
+    Candidate,
+    DiagnosisResult,
+    FailLog,
+    FaultDictionary,
+    SignatureBisector,
+    SimulatedTester,
+    diagnose_effect_cause,
+    make_fail_log,
+)
 from repro.atpg import AtpgEngine, Podem
 from repro.tpg import TestPatternGenerator, make_tpg
 from repro.reseeding import (
@@ -66,11 +76,15 @@ __all__ = [
     "BatchFaultSimulator",
     "BitVector",
     "CATALOG",
+    "Candidate",
     "CompiledCircuit",
     "CoverMatrix",
     "Circuit",
     "DetectionMatrix",
+    "DiagnosisResult",
+    "FailLog",
     "Fault",
+    "FaultDictionary",
     "FaultSimulator",
     "Gate",
     "GateType",
@@ -85,15 +99,19 @@ __all__ = [
     "ReseedingSolution",
     "RngStream",
     "Session",
+    "SignatureBisector",
+    "SimulatedTester",
     "Stage",
     "StageContext",
     "TestPatternGenerator",
     "Triplet",
     "UnknownComponentError",
     "collapse_faults",
+    "diagnose_effect_cause",
     "explore_tradeoff",
     "full_fault_list",
     "load_circuit",
+    "make_fail_log",
     "make_tpg",
     "parse_bench",
     "reduce_matrix",

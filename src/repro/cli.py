@@ -11,6 +11,9 @@ Subcommands:
   :func:`repro.flow.sweep.sweep` orchestrator, with optional artifact
   cache and process pool;
 * ``atpg``    — run the ATPG substrate alone;
+* ``diagnose`` — inject known stuck-at faults, capture the fail log,
+  and run the diagnosis subsystem (effect-cause, dictionary, or
+  signature-only MISR bisection) against it;
 * ``table1`` / ``table2`` / ``figure2`` — the experiment drivers
   (equivalent to ``python -m repro.experiments.<name>``).
 """
@@ -195,6 +198,92 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.diagnosis import (
+        choose_faults,
+        fault_representatives,
+        make_fail_log,
+        parse_fault,
+    )
+    from repro.faults.collapse import collapse_faults
+    from repro.flow.session import Session
+    from repro.utils.bitvec import BitVector
+    from repro.utils.rng import RngStream
+
+    session = Session.from_name(args.circuit, scale=args.scale, cache=args.cache)
+    circuit = session.circuit
+    faults = collapse_faults(circuit)
+    rng = RngStream(args.seed, "diagnose", circuit.name)
+    patterns = [
+        BitVector.random(circuit.n_inputs, rng) for _ in range(args.patterns)
+    ]
+    if args.fault:
+        injected = tuple(parse_fault(spec) for spec in args.fault)
+    else:
+        # Draw from the faults this pattern set actually detects, so the
+        # synthetic scenario always produces a non-empty fail log.
+        detected = session.simulator.detected(patterns, faults)
+        detectable = [f for f, flag in zip(faults, detected) if flag]
+        if not detectable:
+            print("no detectable faults under this pattern set", file=sys.stderr)
+            return 1
+        injected = choose_faults(detectable, args.faults, rng.child("pick"))
+    fail_log = make_fail_log(circuit, patterns, injected, session.simulator.compiled)
+    method = "signature" if args.signature_only else args.method
+    result = session.diagnose(
+        fail_log,
+        method=method,
+        faults=faults,
+        top_k=args.top_k,
+        min_window=args.min_window,
+    )
+    representatives = fault_representatives(circuit)
+    ranks = {
+        str(fault): result.rank_of(representatives.get(fault, fault))
+        for fault in injected
+    }
+    if args.json:
+        payload = result.to_dict()
+        payload["injected"] = [str(fault) for fault in injected]
+        payload["injected_ranks"] = ranks
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(result.summary())
+    table = AsciiTable(
+        ["rank", "fault", "score", "match", "mispredict", "miss", "responses"],
+        title=f"{circuit.name}: top {len(result.candidates)} candidates ({result.mode})",
+    )
+    for rank, candidate in enumerate(result.candidates, start=1):
+        table.add_row(
+            [
+                rank,
+                str(candidate.fault),
+                candidate.score,
+                candidate.n_match,
+                candidate.n_mispredicted,
+                candidate.n_missed,
+                "-" if candidate.n_response_match is None
+                else candidate.n_response_match,
+            ]
+        )
+    print(table.render())
+    for fault in injected:
+        rank = ranks[str(fault)]
+        print(
+            f"injected {fault}: "
+            + (f"ranked #{rank}" if rank else f"not in top {args.top_k}")
+        )
+    if result.window is not None:
+        total = max(result.n_patterns, 1)
+        print(
+            f"bisection: window [{result.window[0]}, {result.window[1]}), "
+            f"{result.oracle_queries} oracle queries, "
+            f"{result.patterns_resimulated}/{result.n_patterns} patterns "
+            f"re-simulated ({100 * result.patterns_resimulated / total:.1f}%)"
+        )
+    return 0
+
+
 def _delegate(module_main):
     def runner(args: argparse.Namespace) -> int:
         module_main(args.rest)
@@ -299,6 +388,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", action="store_true", help="emit CSV instead of an ASCII table"
     )
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="diagnose an injected-fault BIST fail log"
+    )
+    diagnose.add_argument("--circuit", required=True)
+    diagnose.add_argument("--scale", type=float, default=1.0)
+    diagnose.add_argument("--seed", type=int, default=2001)
+    diagnose.add_argument(
+        "--patterns",
+        type=int,
+        default=256,
+        help="random test patterns applied in the session (default 256)",
+    )
+    diagnose.add_argument(
+        "--faults",
+        type=int,
+        default=1,
+        help="number of random detectable faults to inject (default 1)",
+    )
+    diagnose.add_argument(
+        "--fault",
+        action="append",
+        metavar="SPEC",
+        help="inject an explicit fault ('net/SA0' or 'net->gate.pin/SA1'); "
+        "repeatable, overrides --faults",
+    )
+    diagnose.add_argument(
+        "--method",
+        default="effect_cause",
+        choices=["effect_cause", "dictionary", "signature", "multiplet"],
+        help="diagnosis engine (default effect_cause)",
+    )
+    diagnose.add_argument(
+        "--signature-only",
+        action="store_true",
+        help="BIST signature mode: bisect with MISR prefix probes, "
+        "diagnose only the localised window (same as --method signature)",
+    )
+    diagnose.add_argument(
+        "--min-window",
+        type=int,
+        default=None,
+        help="bisection stops when the window reaches this many patterns",
+    )
+    diagnose.add_argument(
+        "--top-k", type=int, default=10, help="candidates reported (default 10)"
+    )
+    diagnose.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="artifact-cache directory: warm runs load the fault dictionary",
+    )
+    diagnose.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema-versioned diagnosis result as JSON",
+    )
+    diagnose.set_defaults(func=_cmd_diagnose)
 
     atpg = sub.add_parser("atpg", help="run the ATPG substrate alone")
     atpg.add_argument("--circuit", required=True)

@@ -1,0 +1,81 @@
+"""Fault diagnosis: from a failing BIST run back to candidate faults.
+
+The generation side of this repository (ATPG, reseeding, MISR
+compaction) says whether a device *passed*; this subsystem closes the
+loop and says *why it failed*.  Three modes, sharing one ranked
+:class:`~repro.diagnosis.result.Candidate` vocabulary:
+
+* :class:`~repro.diagnosis.dictionary.FaultDictionary` — precomputed
+  pass/fail dictionary, diagnosis as a vectorised lookup (cacheable
+  through the flow layer's artifact cache);
+* :func:`~repro.diagnosis.effect_cause.diagnose_effect_cause` —
+  dictionary-free critical-path tracing from failing outputs, with
+  exact simulation-based ranking of the traced candidates;
+* :class:`~repro.diagnosis.signature.SignatureBisector` — signature-only
+  BIST diagnosis: O(log P) prefix-signature probes bisect the pattern
+  sequence, then only the localised window is re-simulated.
+
+:mod:`repro.diagnosis.inject` synthesises ground-truth scenarios
+(multi-fault fail logs and a query-counting simulated tester) for
+validation, benchmarks and the ``repro diagnose`` CLI.
+"""
+
+from repro.diagnosis.dictionary import FaultDictionary
+from repro.diagnosis.effect_cause import (
+    diagnose_effect_cause,
+    diagnose_multiplet,
+    fault_representatives,
+    observed_fail_flags,
+    refine_tie_group,
+    score_candidates,
+    trace_candidates,
+)
+from repro.diagnosis.inject import (
+    FailLog,
+    SimulatedTester,
+    choose_faults,
+    faulty_responses,
+    make_fail_log,
+    parse_fault,
+    simulate_with_faults,
+)
+from repro.diagnosis.result import (
+    Candidate,
+    DiagnosisResult,
+    candidates_from_predictions,
+    rank_candidates,
+    tau_counts,
+)
+from repro.diagnosis.signature import (
+    DEFAULT_MIN_WINDOW,
+    BisectionOutcome,
+    SignatureBisector,
+    SignatureOracle,
+)
+
+__all__ = [
+    "BisectionOutcome",
+    "Candidate",
+    "DEFAULT_MIN_WINDOW",
+    "DiagnosisResult",
+    "FailLog",
+    "FaultDictionary",
+    "SignatureBisector",
+    "SignatureOracle",
+    "SimulatedTester",
+    "candidates_from_predictions",
+    "choose_faults",
+    "diagnose_effect_cause",
+    "diagnose_multiplet",
+    "fault_representatives",
+    "faulty_responses",
+    "make_fail_log",
+    "observed_fail_flags",
+    "parse_fault",
+    "rank_candidates",
+    "refine_tie_group",
+    "score_candidates",
+    "simulate_with_faults",
+    "tau_counts",
+    "trace_candidates",
+]

@@ -1,0 +1,165 @@
+"""Compressed pass/fail fault dictionaries.
+
+A fault dictionary is diagnosis paid for in advance: one batched
+fault-simulation pass over (patterns x faults) stores, per fault, the
+set of patterns it makes fail.  Diagnosing a fail log then costs a
+vectorised compare against every column — no simulation at all — which
+is why dictionaries are the production choice when many devices fail
+the same test program.
+
+The matrix is held bit-packed (one bit per pattern/fault pair, via
+``numpy.packbits``) and serialises through the schema-versioned
+:mod:`repro.flow.serialize` layer, so a
+:class:`~repro.flow.session.Session` can persist it in its
+:class:`~repro.flow.session.ArtifactCache` and warm diagnosis runs skip
+simulation entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.diagnosis.result import (
+    Candidate,
+    DiagnosisResult,
+    candidates_from_predictions,
+    rank_candidates,
+)
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+from repro.sim.batch import BatchFaultSimulator
+from repro.utils.bitvec import BitVector
+
+
+class FaultDictionary:
+    """A pass/fail dictionary: ``matrix[p, f]`` is True iff fault ``f``
+    makes pattern ``p`` fail at some primary output."""
+
+    def __init__(
+        self,
+        circuit_name: str,
+        faults: Sequence[Fault],
+        matrix: np.ndarray,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.shape[1] != len(faults):
+            raise ValueError(
+                f"matrix has {matrix.shape[1]} columns for {len(faults)} faults"
+            )
+        self.circuit_name = circuit_name
+        self.faults = list(faults)
+        self.matrix = matrix
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        circuit: Circuit,
+        patterns: Sequence[BitVector],
+        faults: Sequence[Fault] | None = None,
+        simulator: BatchFaultSimulator | None = None,
+    ) -> "FaultDictionary":
+        """Simulate the dictionary with the batched engine (64 patterns
+        per word, faults stacked on the batch axis)."""
+        faults = list(faults) if faults is not None else collapse_faults(circuit)
+        simulator = simulator or BatchFaultSimulator(circuit)
+        matrix = simulator.detection_matrix(list(patterns), faults)
+        return cls(circuit.name, faults, matrix)
+
+    @classmethod
+    def build_streaming(
+        cls,
+        circuit: Circuit,
+        patterns: Sequence[BitVector],
+        faults: Sequence[Fault] | None = None,
+        simulator: BatchFaultSimulator | None = None,
+    ) -> "FaultDictionary":
+        """Row-streamed construction over
+        :meth:`~repro.sim.batch.BatchFaultSimulator.detection_matrix_rows`
+        (one singleton pattern set per row).
+
+        Bit-identical to :meth:`build`; it trades the 64-pattern word
+        parallelism for bounded memory, which is the right shape when
+        the pattern sequence is produced incrementally (and it doubles
+        as the differential check of the two engines' agreement).
+        """
+        faults = list(faults) if faults is not None else collapse_faults(circuit)
+        simulator = simulator or BatchFaultSimulator(circuit)
+        rows = simulator.detection_matrix_rows(
+            ([pattern] for pattern in patterns), faults
+        )
+        matrix = np.array(list(rows), dtype=bool).reshape(len(patterns), len(faults))
+        return cls(circuit.name, faults, matrix)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_patterns(self) -> int:
+        """Number of patterns the dictionary covers."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_faults(self) -> int:
+        """Number of fault columns."""
+        return len(self.faults)
+
+    @property
+    def packed_bytes(self) -> int:
+        """Size of the bit-packed matrix (the stored representation)."""
+        return int(np.packbits(self.matrix.astype(np.uint8), axis=None).nbytes)
+
+    def lookup(
+        self, fail_flags: np.ndarray, top_k: int = 10
+    ) -> list[Candidate]:
+        """Rank every dictionary fault against observed per-pattern fail
+        flags; returns the ``top_k`` best-first candidates."""
+        fail_flags = np.asarray(fail_flags, dtype=bool)
+        if fail_flags.shape != (self.n_patterns,):
+            raise ValueError(
+                f"fail flags shape {fail_flags.shape} != ({self.n_patterns},)"
+            )
+        candidates = candidates_from_predictions(
+            self.faults, self.matrix, fail_flags
+        )
+        return rank_candidates(candidates)[:top_k]
+
+    def diagnose(
+        self, fail_flags: np.ndarray, top_k: int = 10
+    ) -> DiagnosisResult:
+        """:meth:`lookup` wrapped as a :class:`DiagnosisResult` (zero
+        patterns re-simulated — that is the point of a dictionary)."""
+        candidates = self.lookup(fail_flags, top_k=top_k)
+        return DiagnosisResult(
+            circuit_name=self.circuit_name,
+            mode="dictionary",
+            n_patterns=self.n_patterns,
+            n_failing=int(np.asarray(fail_flags, dtype=bool).sum()),
+            candidates=candidates,
+            n_candidates_considered=self.n_faults,
+            patterns_resimulated=0,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Schema-versioned plain-dict form (the cache entry format)."""
+        from repro.flow.serialize import fault_dictionary_to_dict
+
+        return fault_dictionary_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultDictionary":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import fault_dictionary_from_dict
+
+        return fault_dictionary_from_dict(data)

@@ -25,6 +25,7 @@ from repro.flow.stages import (
     STAGE_REGISTRY,
     AtpgStage,
     CoverStage,
+    DiagnosisStage,
     MatrixStage,
     Stage,
     StageContext,
@@ -42,6 +43,7 @@ __all__ = [
     "AtpgStage",
     "CoverStage",
     "DEFAULT_STAGES",
+    "DiagnosisStage",
     "MatrixStage",
     "PipelineConfig",
     "PipelineResult",

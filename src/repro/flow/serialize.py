@@ -272,6 +272,100 @@ def pipeline_result_from_dict(data: dict[str, Any]):
     )
 
 
+# --------------------------------------------------------------------------
+# Diagnosis artefacts
+# --------------------------------------------------------------------------
+
+
+def fault_dictionary_to_dict(dictionary) -> dict[str, Any]:
+    """A :class:`~repro.diagnosis.dictionary.FaultDictionary` as a plain
+    dict (matrix bit-packed, the artifact-cache entry format)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "fault_dictionary",
+        "circuit_name": dictionary.circuit_name,
+        "faults": [fault_to_dict(f) for f in dictionary.faults],
+        "matrix": bool_matrix_to_dict(dictionary.matrix),
+    }
+
+
+def fault_dictionary_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`fault_dictionary_to_dict`."""
+    from repro.diagnosis.dictionary import FaultDictionary
+
+    check_schema(data, "fault_dictionary")
+    return FaultDictionary(
+        circuit_name=data["circuit_name"],
+        faults=[fault_from_dict(f) for f in data["faults"]],
+        matrix=bool_matrix_from_dict(data["matrix"]),
+    )
+
+
+def candidate_to_dict(candidate) -> dict[str, Any]:
+    """A :class:`~repro.diagnosis.result.Candidate` as a plain dict."""
+    return {
+        "fault": fault_to_dict(candidate.fault),
+        "n_match": candidate.n_match,
+        "n_mispredicted": candidate.n_mispredicted,
+        "n_missed": candidate.n_missed,
+        "n_response_match": candidate.n_response_match,
+        "score": candidate.score,
+    }
+
+
+def candidate_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`candidate_to_dict` (the derived ``score`` key
+    is ignored on read)."""
+    from repro.diagnosis.result import Candidate
+
+    return Candidate(
+        fault=fault_from_dict(data["fault"]),
+        n_match=data["n_match"],
+        n_mispredicted=data["n_mispredicted"],
+        n_missed=data["n_missed"],
+        n_response_match=data["n_response_match"],
+    )
+
+
+def diagnosis_result_to_dict(result) -> dict[str, Any]:
+    """A :class:`~repro.diagnosis.result.DiagnosisResult` as a plain,
+    JSON-serialisable dict (CLI ``--json`` / cache format)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "diagnosis_result",
+        "circuit_name": result.circuit_name,
+        "mode": result.mode,
+        "n_patterns": result.n_patterns,
+        "n_failing": result.n_failing,
+        "candidates": [candidate_to_dict(c) for c in result.candidates],
+        "n_candidates_considered": result.n_candidates_considered,
+        "window": list(result.window) if result.window is not None else None,
+        "oracle_queries": result.oracle_queries,
+        "patterns_resimulated": result.patterns_resimulated,
+        "timings": dict(result.timings),
+    }
+
+
+def diagnosis_result_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`diagnosis_result_to_dict`."""
+    from repro.diagnosis.result import DiagnosisResult
+
+    check_schema(data, "diagnosis_result")
+    window = data["window"]
+    return DiagnosisResult(
+        circuit_name=data["circuit_name"],
+        mode=data["mode"],
+        n_patterns=data["n_patterns"],
+        n_failing=data["n_failing"],
+        candidates=[candidate_from_dict(c) for c in data["candidates"]],
+        n_candidates_considered=data["n_candidates_considered"],
+        window=tuple(window) if window is not None else None,
+        oracle_queries=data["oracle_queries"],
+        patterns_resimulated=data["patterns_resimulated"],
+        timings=dict(data["timings"]),
+    )
+
+
 def to_json(payload: dict[str, Any], indent: int | None = None) -> str:
     """Render a serialised payload as JSON text."""
     return json.dumps(payload, indent=indent, sort_keys=False)

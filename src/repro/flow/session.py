@@ -340,3 +340,108 @@ class Session:
     ) -> PipelineResult:
         """The staged Figure-1 flow for one TPG, with shared artefacts."""
         return self.run_info(tpg, config, use_cache=use_cache).result
+
+    # -- diagnosis ---------------------------------------------------------
+
+    def _dictionary_key(self, patterns, faults) -> str:
+        """Dictionary cache key: the exact pattern sequence and fault
+        list (as strings) on this exact netlist."""
+        return ArtifactCache.key(
+            "fault_dictionary",
+            circuit=self.name,
+            netlist=self.circuit_fingerprint,
+            patterns=hashlib.sha256(
+                "\n".join(p.to_string() for p in patterns).encode()
+            ).hexdigest(),
+            faults=hashlib.sha256(
+                "\n".join(str(f) for f in faults).encode()
+            ).hexdigest(),
+        )
+
+    def fault_dictionary(self, patterns, faults=None):
+        """The pass/fail :class:`~repro.diagnosis.dictionary.
+        FaultDictionary` for a pattern sequence (cache -> compute).
+
+        With a cache attached, warm diagnosis runs load the bit-packed
+        dictionary instead of re-simulating patterns x faults.
+        """
+        from repro.diagnosis.dictionary import FaultDictionary
+        from repro.flow.serialize import fault_dictionary_from_dict
+        from repro.faults.collapse import collapse_faults
+
+        patterns = list(patterns)
+        faults = list(faults) if faults is not None else collapse_faults(self.circuit)
+        if self.cache is not None:
+            key = self._dictionary_key(patterns, faults)
+            payload = self.cache.get(key, "fault_dictionary")
+            if payload is not None:
+                self._emit(StageEvent("dictionary", "cache-hit"))
+                return fault_dictionary_from_dict(payload)
+        start = time.perf_counter()
+        dictionary = FaultDictionary.build(
+            self.circuit, patterns, faults, simulator=self.simulator
+        )
+        self._emit(
+            StageEvent("dictionary", "done", time.perf_counter() - start)
+        )
+        if self.cache is not None:
+            self.cache.put(
+                self._dictionary_key(patterns, faults), dictionary.to_dict()
+            )
+        return dictionary
+
+    def diagnose(
+        self,
+        fail_log,
+        *,
+        method: str = "effect_cause",
+        faults=None,
+        top_k: int = 10,
+        min_window: int | None = None,
+        oracle=None,
+    ):
+        """Diagnose a fail log with the session's shared simulator.
+
+        ``method`` is ``"effect_cause"`` (full-log tracing + ranking),
+        ``"dictionary"`` (lookup in the cached
+        :meth:`fault_dictionary`), ``"signature"`` (MISR bisection,
+        optionally against a caller-supplied tester ``oracle``), or
+        ``"multiplet"`` (greedy multiple-fault cover).
+        Effect-cause and signature route through the registered
+        :class:`~repro.flow.stages.DiagnosisStage`, so progress hooks
+        and timings behave like any other stage.
+        """
+        from repro.diagnosis.effect_cause import observed_fail_flags
+        from repro.faults.collapse import collapse_faults
+
+        if method == "dictionary":
+            faults = (
+                list(faults)
+                if faults is not None
+                else collapse_faults(self.circuit)
+            )
+            dictionary = self.fault_dictionary(fail_log.patterns, faults)
+            golden = self.simulator.compiled.simulate_patterns(fail_log.patterns)
+            flags = observed_fail_flags(golden, fail_log.responses)
+            return dictionary.diagnose(flags, top_k=top_k)
+        from repro.flow.stages import DiagnosisStage, StageContext
+
+        ctx = StageContext(
+            circuit=self.circuit,
+            tpg=None,
+            config=self.config,
+            simulator=self.simulator,
+            progress=self.progress,
+        )
+        ctx.artifacts["fail_log"] = fail_log
+        stage = DiagnosisStage(
+            top_k=top_k,
+            method=method,
+            min_window=min_window,
+            oracle=oracle,
+            faults=faults,
+        )
+        stage.execute(ctx)
+        result = ctx.artifacts["diagnosis"]
+        result.timings.setdefault("stage", ctx.timings.get("diagnosis", 0.0))
+        return result

@@ -15,7 +15,11 @@ Artefact keys: ``"atpg"`` (:class:`~repro.atpg.engine.AtpgResult`),
 ``"initial"`` (:class:`~repro.reseeding.initial.InitialReseeding`),
 ``"cover"`` (:class:`~repro.setcover.solve.CoverSolution`),
 ``"selected"`` (``list[Triplet]``), ``"trimmed"``
-(:class:`~repro.reseeding.trim.TrimmedSolution`).  A stage whose output
+(:class:`~repro.reseeding.trim.TrimmedSolution`); the diagnosis side
+adds ``"fail_log"`` (:class:`~repro.diagnosis.inject.FailLog`, consumed)
+and ``"diagnosis"`` (:class:`~repro.diagnosis.result.DiagnosisResult`,
+produced by :class:`DiagnosisStage`, which is registered but not part of
+the default chain).  A stage whose output
 artefact is already present skips itself (that is how a
 :class:`~repro.flow.session.Session` shares circuit-level ATPG across
 TPGs and how the artifact cache short-circuits recomputation), so
@@ -220,11 +224,109 @@ class TrimStage(Stage):
         return False
 
 
+class DiagnosisStage(Stage):
+    """Effect-cause / signature diagnosis of a captured fail log.
+
+    Consumes a ``"fail_log"`` artefact (a
+    :class:`~repro.diagnosis.inject.FailLog`) and produces a
+    ``"diagnosis"`` artefact (a
+    :class:`~repro.diagnosis.result.DiagnosisResult`).  The candidate
+    universe is, in order of preference: the ``faults`` constructor
+    argument, the pre-seeded ``"atpg"`` artefact's target faults
+    (diagnosing against the same list the test set was generated for),
+    or the circuit's collapsed fault list.
+
+    ``method`` selects the engine: ``"effect_cause"`` (default) ranks
+    on the full fail log; ``"signature"`` first bisects the pattern
+    sequence with MISR prefix probes against an ``oracle`` (default: a
+    :class:`~repro.diagnosis.inject.SimulatedTester` over the fail
+    log) and ranks only the localised window; ``"multiplet"`` runs the
+    greedy multiple-fault cover (``top_k`` bounds the multiplet size).
+    """
+
+    name = "diagnosis"
+    requires = ("fail_log",)
+    provides = ("diagnosis",)
+
+    def __init__(
+        self,
+        top_k: int = 10,
+        method: str = "effect_cause",
+        min_window: int | None = None,
+        oracle=None,
+        faults=None,
+    ) -> None:
+        if method not in ("effect_cause", "signature", "multiplet"):
+            raise ValueError(
+                f"unknown diagnosis method {method!r}; "
+                "expected 'effect_cause', 'signature' or 'multiplet'"
+            )
+        self.top_k = top_k
+        self.method = method
+        self.min_window = min_window
+        self.oracle = oracle
+        self.faults = faults
+
+    def run(self, ctx: StageContext) -> bool:
+        if self._already_done(ctx):
+            return True
+        from repro.diagnosis.effect_cause import (
+            diagnose_effect_cause,
+            diagnose_multiplet,
+        )
+        from repro.diagnosis.inject import SimulatedTester
+        from repro.diagnosis.signature import DEFAULT_MIN_WINDOW, SignatureBisector
+        from repro.faults.collapse import collapse_faults
+
+        fail_log = ctx.artifacts["fail_log"]
+        atpg = ctx.artifacts.get("atpg")
+        if self.faults is not None:
+            faults = list(self.faults)
+        elif atpg is not None:
+            faults = list(atpg.target_faults)
+        else:
+            faults = collapse_faults(ctx.circuit)
+        if self.method == "signature":
+            from repro.sim.misr import Misr
+
+            misr = Misr(ctx.circuit.n_outputs)
+            bisector = SignatureBisector(
+                ctx.circuit,
+                fail_log.patterns,
+                misr,
+                min_window=self.min_window or DEFAULT_MIN_WINDOW,
+                simulator=ctx.simulator,
+            )
+            oracle = self.oracle or SimulatedTester(fail_log, misr)
+            result = bisector.diagnose(oracle, faults=faults, top_k=self.top_k)
+        elif self.method == "multiplet":
+            result = diagnose_multiplet(
+                ctx.circuit,
+                fail_log.patterns,
+                fail_log.responses,
+                faults=faults,
+                simulator=ctx.simulator,
+                max_faults=self.top_k,
+            )
+        else:
+            result = diagnose_effect_cause(
+                ctx.circuit,
+                fail_log.patterns,
+                fail_log.responses,
+                faults=faults,
+                simulator=ctx.simulator,
+                top_k=self.top_k,
+            )
+        ctx.artifacts["diagnosis"] = result
+        return False
+
+
 STAGE_REGISTRY: Registry[type[Stage]] = Registry("stage")
 STAGE_REGISTRY.register(AtpgStage.name, AtpgStage)
 STAGE_REGISTRY.register(MatrixStage.name, MatrixStage)
 STAGE_REGISTRY.register(CoverStage.name, CoverStage)
 STAGE_REGISTRY.register(TrimStage.name, TrimStage)
+STAGE_REGISTRY.register(DiagnosisStage.name, DiagnosisStage)
 
 #: The Figure-1 chain, in order.
 DEFAULT_STAGES: tuple[str, ...] = (

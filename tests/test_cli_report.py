@@ -90,6 +90,94 @@ class TestCli:
         assert "c17" in out and "Table 1" in out
 
 
+class TestCliDiagnose:
+    def test_diagnose_effect_cause_table(self, capsys):
+        assert (
+            main(
+                [
+                    "diagnose",
+                    "--circuit",
+                    "c17",
+                    "--patterns",
+                    "32",
+                    "--top-k",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "candidates (effect_cause)" in out
+        assert "ranked #" in out
+
+    def test_diagnose_signature_only(self, capsys):
+        assert (
+            main(
+                [
+                    "diagnose",
+                    "--circuit",
+                    "c17",
+                    "--patterns",
+                    "64",
+                    "--signature-only",
+                    "--min-window",
+                    "8",
+                    "--top-k",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bisection: window [" in out
+        assert "oracle queries" in out
+
+    def test_diagnose_explicit_fault_json(self, capsys):
+        from repro.diagnosis import DiagnosisResult
+
+        assert (
+            main(
+                [
+                    "diagnose",
+                    "--circuit",
+                    "c17",
+                    "--patterns",
+                    "32",
+                    "--fault",
+                    "10/SA1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "diagnosis_result"
+        assert payload["injected"] == ["10/SA1"]
+        # The extra reporting keys do not break round-tripping.
+        result = DiagnosisResult.from_dict(payload)
+        assert result.circuit_name == "c17"
+        rank = payload["injected_ranks"]["10/SA1"]
+        assert rank is not None and rank <= 3
+
+    def test_diagnose_dictionary_uses_cache(self, capsys, tmp_path):
+        argv = [
+            "diagnose",
+            "--circuit",
+            "c17",
+            "--patterns",
+            "32",
+            "--method",
+            "dictionary",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("*.json")), "dictionary not persisted"
+        assert main(argv) == 0  # warm run loads it back
+        assert "candidates (dictionary)" in capsys.readouterr().out
+
+
 class TestCliJson:
     def test_catalog_json(self, capsys):
         assert main(["catalog", "--json"]) == 0

@@ -37,7 +37,11 @@ def baseline(c17):
 
 class TestStages:
     def test_registry_contents(self):
-        assert stage_names() == list(DEFAULT_STAGES)
+        # The default Figure-1 chain plus the off-chain diagnosis stage.
+        assert set(stage_names()) == set(DEFAULT_STAGES) | {"diagnosis"}
+        assert [n for n in stage_names() if n != "diagnosis"] == list(
+            DEFAULT_STAGES
+        )
 
     def test_unknown_stage_rejected(self):
         with pytest.raises(UnknownComponentError, match="unknown stage"):

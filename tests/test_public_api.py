@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.atpg",
     "repro.circuit",
     "repro.circuits",
+    "repro.diagnosis",
     "repro.experiments",
     "repro.faults",
     "repro.flow",
