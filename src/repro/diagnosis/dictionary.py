@@ -31,7 +31,7 @@ from repro.diagnosis.result import (
 from repro.faults.collapse import collapse_faults
 from repro.faults.model import Fault
 from repro.sim.batch import BatchFaultSimulator
-from repro.utils.bitvec import BitVector
+from repro.utils.bitvec import BitVector, PackedPatterns, as_packed
 
 
 class FaultDictionary:
@@ -61,15 +61,21 @@ class FaultDictionary:
     def build(
         cls,
         circuit: Circuit,
-        patterns: Sequence[BitVector],
+        patterns: Sequence[BitVector] | PackedPatterns,
         faults: Sequence[Fault] | None = None,
         simulator: BatchFaultSimulator | None = None,
     ) -> "FaultDictionary":
         """Simulate the dictionary with the batched engine (64 patterns
-        per word, faults stacked on the batch axis)."""
+        per word, faults stacked on the batch axis).
+
+        ``patterns`` may be pre-packed (:class:`~repro.utils.bitvec.
+        PackedPatterns`) — a session that already packed the sequence
+        pays no per-call conversion.
+        """
         faults = list(faults) if faults is not None else collapse_faults(circuit)
         simulator = simulator or BatchFaultSimulator(circuit)
-        matrix = simulator.detection_matrix(list(patterns), faults)
+        packed = as_packed(patterns, simulator.compiled.n_inputs)
+        matrix = simulator.detection_matrix(packed, faults)
         return cls(circuit.name, faults, matrix)
 
     @classmethod

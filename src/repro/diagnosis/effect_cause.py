@@ -48,7 +48,7 @@ from repro.diagnosis.result import (
 from repro.faults.collapse import collapse_faults, equivalence_classes
 from repro.faults.model import Fault, effective_reader_count
 from repro.sim.batch import BatchFaultSimulator
-from repro.utils.bitvec import BitVector, pack_patterns, unpack_words
+from repro.utils.bitvec import BitVector, PackedPatterns, as_packed, unpack_words
 
 #: Gates where the controlling-input rule applies, with the controlling
 #: value seen at the inputs.
@@ -156,7 +156,7 @@ def trace_candidates(
 
 def score_candidates(
     simulator: BatchFaultSimulator,
-    patterns: Sequence[BitVector],
+    patterns: Sequence[BitVector] | PackedPatterns,
     faults: Sequence[Fault],
     fail_flags: np.ndarray,
 ) -> list[Candidate]:
@@ -164,7 +164,7 @@ def score_candidates(
     (one batched detection-matrix pass)."""
     if not faults:
         return []
-    predicted = simulator.detection_matrix(list(patterns), list(faults))
+    predicted = simulator.detection_matrix(patterns, list(faults))
     return candidates_from_predictions(faults, predicted, fail_flags)
 
 
@@ -176,7 +176,7 @@ MAX_REFINED_TIES = 64
 
 def refine_tie_group(
     simulator: BatchFaultSimulator,
-    patterns: Sequence[BitVector],
+    patterns: Sequence[BitVector] | PackedPatterns,
     responses: Sequence[BitVector],
     fail_flags: np.ndarray,
     scored: list[Candidate],
@@ -209,6 +209,8 @@ def refine_tie_group(
     if n_tied < 2:
         return scored
     n_tied = min(n_tied, MAX_REFINED_TIES)
+    if isinstance(patterns, PackedPatterns):
+        patterns = patterns.unpack()
     failing_patterns = [p for p, f in zip(patterns, fail_flags) if f]
     failing_responses = [r for r, f in zip(responses, fail_flags) if f]
     refined = []
@@ -227,7 +229,7 @@ def refine_tie_group(
 
 def diagnose_effect_cause(
     circuit: Circuit,
-    patterns: Sequence[BitVector],
+    patterns: Sequence[BitVector] | PackedPatterns,
     responses: Sequence[BitVector],
     *,
     faults: Sequence[Fault] | None = None,
@@ -260,11 +262,11 @@ def diagnose_effect_cause(
         n_candidates_considered=0,
         patterns_resimulated=len(patterns),
     )
-    if not patterns:
+    if not len(patterns):
         return result
-    input_words = pack_patterns(list(patterns), compiled.n_inputs)
-    values = compiled.simulate_words(input_words)
-    golden = unpack_words(values[compiled.output_ids, :], len(patterns))
+    packed = as_packed(patterns, compiled.n_inputs)
+    values = compiled.simulate_words(packed.words)
+    golden = unpack_words(values[compiled.output_ids, :], packed.n_patterns)
     fail_flags = observed_fail_flags(golden, responses)
     result.n_failing = int(fail_flags.sum())
     result.timings["simulate"] = time.perf_counter() - start
@@ -299,11 +301,11 @@ def diagnose_effect_cause(
 
     start = time.perf_counter()
     scored = rank_candidates(
-        score_candidates(simulator, patterns, candidates, fail_flags)
+        score_candidates(simulator, packed, candidates, fail_flags)
     )
     if widen and (not scored or not scored[0].is_perfect):
         scored = rank_candidates(
-            score_candidates(simulator, patterns, universe, fail_flags)
+            score_candidates(simulator, packed, universe, fail_flags)
         )
     scored = refine_tie_group(simulator, patterns, responses, fail_flags, scored)
     result.timings["rank"] = time.perf_counter() - start
@@ -314,7 +316,7 @@ def diagnose_effect_cause(
 
 def diagnose_multiplet(
     circuit: Circuit,
-    patterns: Sequence[BitVector],
+    patterns: Sequence[BitVector] | PackedPatterns,
     responses: Sequence[BitVector],
     *,
     faults: Sequence[Fault] | None = None,
@@ -356,11 +358,11 @@ def diagnose_multiplet(
         n_candidates_considered=0,
         patterns_resimulated=len(patterns),
     )
-    if not patterns:
+    if not len(patterns):
         return result
-    input_words = pack_patterns(list(patterns), compiled.n_inputs)
-    values = compiled.simulate_words(input_words)
-    golden = unpack_words(values[compiled.output_ids, :], len(patterns))
+    packed = as_packed(patterns, compiled.n_inputs)
+    values = compiled.simulate_words(packed.words)
+    golden = unpack_words(values[compiled.output_ids, :], packed.n_patterns)
     fail_flags = observed_fail_flags(golden, responses)
     result.n_failing = int(fail_flags.sum())
     result.timings["simulate"] = time.perf_counter() - start
@@ -371,7 +373,7 @@ def diagnose_multiplet(
     universe = (
         list(faults) if faults is not None else collapse_faults(circuit)
     )
-    predicted = simulator.detection_matrix(list(patterns), universe)
+    predicted = simulator.detection_matrix(packed, universe)
     n_match, n_mispredicted, n_missed = tau_counts(predicted, fail_flags)
     consistent = np.flatnonzero(n_mispredicted <= mispredict_tolerance)
     result.n_candidates_considered = int(consistent.size)

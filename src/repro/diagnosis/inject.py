@@ -24,7 +24,7 @@ from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
 from repro.sim.logic import CompiledCircuit
 from repro.sim.misr import Misr
-from repro.utils.bitvec import BitVector, pack_patterns, unpack_words
+from repro.utils.bitvec import BitVector, PackedPatterns, as_packed, unpack_words
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -110,16 +110,16 @@ def simulate_with_faults(
 
 def faulty_responses(
     compiled: CompiledCircuit,
-    patterns: list[BitVector],
+    patterns: "list[BitVector] | PackedPatterns",
     faults: tuple[Fault, ...] | list[Fault],
 ) -> list[BitVector]:
     """Primary-output vectors of the multi-fault machine, one per
     pattern (bit ``k`` = value of ``circuit.outputs[k]``)."""
-    if not patterns:
+    if not len(patterns):
         return []
-    input_words = pack_patterns(patterns, compiled.n_inputs)
-    values = simulate_with_faults(compiled, input_words, faults)
-    return unpack_words(values[compiled.output_ids, :], len(patterns))
+    packed = as_packed(patterns, compiled.n_inputs)
+    values = simulate_with_faults(compiled, packed.words, faults)
+    return unpack_words(values[compiled.output_ids, :], packed.n_patterns)
 
 
 @dataclass
@@ -140,6 +140,23 @@ class FailLog:
     def n_patterns(self) -> int:
         """Number of applied patterns."""
         return len(self.patterns)
+
+    def packed(self, width: int) -> PackedPatterns:
+        """The applied patterns in word-parallel packed form.
+
+        Packed on first use and cached on the log, so every diagnosis
+        engine consuming this log shares one packing instead of
+        re-packing per call.
+        """
+        cached: PackedPatterns | None = getattr(self, "_packed", None)
+        if (
+            cached is None
+            or cached.width != width
+            or cached.n_patterns != len(self.patterns)
+        ):
+            cached = PackedPatterns.from_patterns(self.patterns, width)
+            self._packed = cached
+        return cached
 
 
 def make_fail_log(

@@ -45,7 +45,7 @@ from repro.diagnosis.result import DiagnosisResult
 from repro.faults.model import Fault
 from repro.sim.batch import BatchFaultSimulator
 from repro.sim.misr import Misr
-from repro.utils.bitvec import BitVector, pack_patterns, unpack_words
+from repro.utils.bitvec import BitVector, PackedPatterns, as_packed, unpack_words
 
 #: Default localisation window, in patterns.
 DEFAULT_MIN_WINDOW = 16
@@ -83,7 +83,7 @@ class SignatureBisector:
     def __init__(
         self,
         circuit: Circuit,
-        patterns: Sequence[BitVector],
+        patterns: Sequence[BitVector] | PackedPatterns,
         misr: Misr | None = None,
         seed: BitVector | None = None,
         min_window: int = DEFAULT_MIN_WINDOW,
@@ -92,7 +92,6 @@ class SignatureBisector:
         if min_window < 1:
             raise ValueError(f"min_window must be >= 1, got {min_window}")
         self.circuit = circuit
-        self.patterns = list(patterns)
         self.misr = misr or Misr(circuit.n_outputs)
         if self.misr.width != circuit.n_outputs:
             raise ValueError(
@@ -102,11 +101,16 @@ class SignatureBisector:
         self.min_window = min_window
         self.simulator = simulator or BatchFaultSimulator(circuit)
         compiled = self.simulator.compiled
-        if self.patterns:
-            words = pack_patterns(self.patterns, compiled.n_inputs)
-            values = compiled.simulate_words(words)
+        #: The session's pattern sequence, packed exactly once; window
+        #: re-simulation slices this instead of re-packing per probe.
+        self.packed = as_packed(patterns, compiled.n_inputs)
+        self._patterns = (
+            list(patterns) if not isinstance(patterns, PackedPatterns) else None
+        )
+        if self.packed.n_patterns:
+            values = compiled.simulate_words(self.packed.words)
             golden = unpack_words(
-                values[compiled.output_ids, :], len(self.patterns)
+                values[compiled.output_ids, :], self.packed.n_patterns
             )
         else:
             golden = []
@@ -119,9 +123,18 @@ class SignatureBisector:
         self.golden_prefix_states = states
 
     @property
+    def patterns(self) -> list[BitVector]:
+        """The pattern sequence as :class:`BitVector` objects (unpacked
+        lazily — the diagnosis path itself only touches the packed
+        form)."""
+        if self._patterns is None:
+            self._patterns = self.packed.unpack()
+        return self._patterns
+
+    @property
     def n_patterns(self) -> int:
         """Session length in patterns."""
-        return len(self.patterns)
+        return self.packed.n_patterns
 
     @property
     def golden_signature(self) -> BitVector:
@@ -179,7 +192,7 @@ class SignatureBisector:
                 patterns_resimulated=0,
                 timings={"localize": localize_seconds},
             )
-        window_patterns = self.patterns[outcome.start : outcome.stop]
+        window_patterns = self.packed.slice(outcome.start, outcome.stop)
         window_responses = oracle.window_responses(outcome.start, outcome.stop)
         inner = diagnose_effect_cause(
             self.circuit,

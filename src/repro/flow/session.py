@@ -341,18 +341,42 @@ class Session:
         """The staged Figure-1 flow for one TPG, with shared artefacts."""
         return self.run_info(tpg, config, use_cache=use_cache).result
 
+    # -- packed patterns ---------------------------------------------------
+
+    @staticmethod
+    def _packed_digest(packed) -> str:
+        """Content hash of a packed pattern sequence — hashes the raw
+        word buffer (C-level), not per-pattern strings."""
+        import numpy as np
+
+        digest = hashlib.sha256()
+        digest.update(f"{packed.width}:{packed.n_patterns}:".encode())
+        digest.update(np.ascontiguousarray(packed.words).tobytes())
+        return digest.hexdigest()
+
+    def packed_patterns(self, patterns) -> "PackedPatterns":
+        """Coerce ``patterns`` to the word-parallel packed form the
+        simulators consume (already-packed input passes through).
+
+        Callers that reuse one sequence across calls hold on to the
+        result — that is the "pack once per session" contract
+        (:meth:`~repro.diagnosis.inject.FailLog.packed` does exactly
+        this for every diagnosis engine consuming a fail log).
+        """
+        from repro.utils.bitvec import as_packed
+
+        return as_packed(patterns, self.circuit.n_inputs)
+
     # -- diagnosis ---------------------------------------------------------
 
-    def _dictionary_key(self, patterns, faults) -> str:
-        """Dictionary cache key: the exact pattern sequence and fault
-        list (as strings) on this exact netlist."""
+    def _dictionary_key(self, packed, faults) -> str:
+        """Dictionary cache key: the exact (packed) pattern sequence
+        and fault list on this exact netlist."""
         return ArtifactCache.key(
             "fault_dictionary",
             circuit=self.name,
             netlist=self.circuit_fingerprint,
-            patterns=hashlib.sha256(
-                "\n".join(p.to_string() for p in patterns).encode()
-            ).hexdigest(),
+            patterns=self._packed_digest(packed),
             faults=hashlib.sha256(
                 "\n".join(str(f) for f in faults).encode()
             ).hexdigest(),
@@ -369,25 +393,27 @@ class Session:
         from repro.flow.serialize import fault_dictionary_from_dict
         from repro.faults.collapse import collapse_faults
 
-        patterns = list(patterns)
+        packed = self.packed_patterns(patterns)
         faults = list(faults) if faults is not None else collapse_faults(self.circuit)
-        if self.cache is not None:
-            key = self._dictionary_key(patterns, faults)
+        key = (
+            self._dictionary_key(packed, faults)
+            if self.cache is not None
+            else None
+        )
+        if key is not None:
             payload = self.cache.get(key, "fault_dictionary")
             if payload is not None:
                 self._emit(StageEvent("dictionary", "cache-hit"))
                 return fault_dictionary_from_dict(payload)
         start = time.perf_counter()
         dictionary = FaultDictionary.build(
-            self.circuit, patterns, faults, simulator=self.simulator
+            self.circuit, packed, faults, simulator=self.simulator
         )
         self._emit(
             StageEvent("dictionary", "done", time.perf_counter() - start)
         )
-        if self.cache is not None:
-            self.cache.put(
-                self._dictionary_key(patterns, faults), dictionary.to_dict()
-            )
+        if key is not None:
+            self.cache.put(key, dictionary.to_dict())
         return dictionary
 
     def diagnose(
@@ -420,8 +446,9 @@ class Session:
                 if faults is not None
                 else collapse_faults(self.circuit)
             )
-            dictionary = self.fault_dictionary(fail_log.patterns, faults)
-            golden = self.simulator.compiled.simulate_patterns(fail_log.patterns)
+            packed = fail_log.packed(self.circuit.n_inputs)
+            dictionary = self.fault_dictionary(packed, faults)
+            golden = self.simulator.compiled.simulate_patterns(packed)
             flags = observed_fail_flags(golden, fail_log.responses)
             return dictionary.diagnose(flags, top_k=top_k)
         from repro.flow.stages import DiagnosisStage, StageContext

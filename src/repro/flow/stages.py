@@ -286,13 +286,20 @@ class DiagnosisStage(Stage):
             faults = list(atpg.target_faults)
         else:
             faults = collapse_faults(ctx.circuit)
+        # Pack the log's pattern sequence once; every engine below (and
+        # any later stage sharing the log) reuses the packed form.
+        patterns = fail_log.packed(
+            ctx.simulator.compiled.n_inputs
+            if ctx.simulator is not None
+            else ctx.circuit.n_inputs
+        )
         if self.method == "signature":
             from repro.sim.misr import Misr
 
             misr = Misr(ctx.circuit.n_outputs)
             bisector = SignatureBisector(
                 ctx.circuit,
-                fail_log.patterns,
+                patterns,
                 misr,
                 min_window=self.min_window or DEFAULT_MIN_WINDOW,
                 simulator=ctx.simulator,
@@ -302,7 +309,7 @@ class DiagnosisStage(Stage):
         elif self.method == "multiplet":
             result = diagnose_multiplet(
                 ctx.circuit,
-                fail_log.patterns,
+                patterns,
                 fail_log.responses,
                 faults=faults,
                 simulator=ctx.simulator,
@@ -311,7 +318,7 @@ class DiagnosisStage(Stage):
         else:
             result = diagnose_effect_cause(
                 ctx.circuit,
-                fail_log.patterns,
+                patterns,
                 fail_log.responses,
                 faults=faults,
                 simulator=ctx.simulator,

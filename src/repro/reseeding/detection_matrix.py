@@ -96,10 +96,14 @@ def build_detection_matrix(
     the paper's point that "the number of fault simulations is reduced
     and limited to the construction of the Detection Matrix".  Rows are
     streamed through :meth:`BatchFaultSimulator.detection_matrix_rows`,
-    so every row reuses the same cached cone-union schedules and
-    simulates its fault-free values exactly once.  ``workers=N`` opts in
-    to row-parallel construction over a process pool (rows are
-    independent); the result is identical to the serial path.
+    which packs them word-aligned into chunks — every row reuses the
+    same cached cone-union schedules, and a whole chunk of rows shares
+    one fault-free simulation and one ``detect_words`` per fault batch.
+    ``workers=N`` opts in to row-parallel construction over a process
+    pool: the packed rows and pre-built plans are shared with the
+    workers (``multiprocessing.shared_memory`` / fork inheritance), so
+    jobs carry only row ranges; the result is identical to the serial
+    path.
     """
     pattern_sets = [triplet.test_set(tpg) for triplet in triplets]
     if workers is not None and workers > 1:

@@ -24,12 +24,23 @@ faults at once:
 :meth:`first_detection_index`, :meth:`fault_coverage`) scan the pattern
 set in word-aligned windows and remove faults from the active set as
 soon as a window detects them, so easy faults never pay for the full
-pattern set.
+pattern set.  Dropping is **incremental**: batch membership is fixed up
+front and a shrinking batch *subsets* its existing compiled schedule
+(:meth:`_BatchPlan.subset` — an index-mask filter over the forced rows)
+instead of re-running the pure-Python cone-union/level-grouping
+construction for every survivor tuple.
 
 :meth:`detection_matrix_rows` streams Detection Matrix rows (one row
-per pattern set) over a fixed fault batching, and
-:func:`parallel_detection_rows` fans rows out over a process pool for
-an opt-in ``workers=N`` construction path.
+per pattern set) over a fixed fault batching.  Rows are processed in
+word-budgeted **chunks**: each chunk packs its rows word-aligned into
+one combined pattern axis, so the fault-free simulation and every
+per-batch :meth:`_BatchPlan.detect_words` run once per *chunk* instead
+of once per row.  :func:`parallel_detection_rows` fans row chunks out
+over a process pool for an opt-in ``workers=N`` construction path; the
+packed pattern state is shared with the workers through a
+``multiprocessing.shared_memory`` block (pickled once per worker on
+platforms without ``fork``), so job payloads carry row *indices*, not
+pattern data.
 """
 
 from __future__ import annotations
@@ -42,8 +53,13 @@ import numpy as np
 from repro.circuit.gates import GateType, eval_gate_words, reduce_gate_words
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
-from repro.sim.logic import CompiledCircuit, tail_mask
-from repro.utils.bitvec import BitVector, pack_patterns
+from repro.sim.logic import CompiledCircuit
+from repro.utils.bitvec import (
+    BitVector,
+    PackedPatterns,
+    PatternsLike,
+    as_packed,
+)
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -53,10 +69,15 @@ DEFAULT_BATCH_SIZE = 32
 #: Fault-dropping window, in 64-pattern words (8 words = 512 patterns).
 DROP_WINDOW_WORDS = 8
 
+#: Word budget per detection-row chunk: rows are packed word-aligned
+#: into a combined pattern axis until the budget fills, then simulated
+#: together (64 words = up to 4096 patterns per fault-free pass).
+DEFAULT_ROW_CHUNK_WORDS = 64
+
 #: Cached cone-union schedules per simulator (LRU).  Callers that batch
-#: a stable fault list (Detection Matrix rows) hit the same few plans
-#: forever; fault dropping generates one-shot survivor tuples, which
-#: must not accumulate for the simulator's lifetime.
+#: a stable fault list (Detection Matrix rows, fault-dropping scans)
+#: hit the same few plans forever; survivor subsets reuse their parent
+#: plan via :meth:`_BatchPlan.subset` and never enter the cache.
 PLAN_CACHE_SIZE = 256
 
 
@@ -163,6 +184,38 @@ class _BatchPlan:
         self.out_pos = np.array([pos[o] for o in out_ids], dtype=np.int64)
         self.out_ids = np.array(out_ids, dtype=np.int64)
 
+    def subset(self, rows: Sequence[int]) -> "_BatchPlan":
+        """A plan for the faults at ``rows`` of this plan's batch.
+
+        The expensive structure (cone union, buffer layout, level
+        groups, observation points) is *shared* with the parent — the
+        union is a superset of the survivors' union, which is correct
+        because fault rows are independent: nodes only reachable from
+        dropped faults evaluate to fault-free values on every surviving
+        row and contribute nothing at the outputs.  Only the forced-row
+        table is filtered and renumbered, so subsetting after fault
+        dropping is O(batch) instead of a cone-union rebuild.
+        """
+        row_map = {int(old): new for new, old in enumerate(rows)}
+        if len(row_map) != len(rows) or not all(
+            0 <= old < self.n_faults for old in row_map
+        ):
+            raise ValueError(f"invalid subset rows {rows!r} of {self.n_faults}")
+        clone = _BatchPlan.__new__(_BatchPlan)
+        clone.n_faults = len(rows)
+        clone.n_buf = self.n_buf
+        clone.boundary_pos = self.boundary_pos
+        clone.boundary_ids = self.boundary_ids
+        clone.level_groups = self.level_groups
+        clone.out_pos = self.out_pos
+        clone.out_ids = self.out_ids
+        clone.forcings = [
+            (buf_row, row_map[fault_row], stuck, branch, level, evaluated)
+            for buf_row, fault_row, stuck, branch, level, evaluated in self.forcings
+            if fault_row in row_map
+        ]
+        return clone
+
     def _forced_words(self, good: np.ndarray) -> list[tuple[int, int, np.ndarray, int, bool]]:
         """Materialise forced rows for one good-value array:
         (buffer row, fault row, words, level, evaluated)."""
@@ -228,6 +281,7 @@ class BatchFaultSimulator:
         circuit: Circuit,
         batch_size: int = DEFAULT_BATCH_SIZE,
         drop_window_words: int = DROP_WINDOW_WORDS,
+        row_chunk_words: int = DEFAULT_ROW_CHUNK_WORDS,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -235,27 +289,38 @@ class BatchFaultSimulator:
             raise ValueError(
                 f"drop_window_words must be >= 1, got {drop_window_words}"
             )
+        if row_chunk_words < 1:
+            raise ValueError(
+                f"row_chunk_words must be >= 1, got {row_chunk_words}"
+            )
         self.compiled = CompiledCircuit(circuit)
         self.circuit = circuit
         self.batch_size = batch_size
         self.drop_window_words = drop_window_words
+        self.row_chunk_words = row_chunk_words
         self._cone_cache: dict[int, list[int]] = {}
         self._plan_cache: OrderedDict[tuple[Fault, ...], _BatchPlan] = OrderedDict()
         self._good_buf: np.ndarray | None = None
+        #: Plan economics, exposed for tests and perf forensics: full
+        #: cone-union constructions vs cache hits vs O(batch) subsets.
+        self.plan_builds = 0
+        self.plan_cache_hits = 0
+        self.plan_subsets = 0
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
     def detection_matrix(
-        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+        self, patterns: PatternsLike, faults: Sequence[Fault]
     ) -> np.ndarray:
         """Boolean matrix ``(n_patterns, n_faults)``: entry ``[p, f]`` is
         True iff pattern ``p`` detects fault ``f``."""
-        result = np.zeros((len(patterns), len(faults)), dtype=bool)
-        if not patterns or not faults:
+        packed = as_packed(patterns, self.compiled.n_inputs)
+        result = np.zeros((packed.n_patterns, len(faults)), dtype=bool)
+        if not packed.n_patterns or not faults:
             return result
-        good = self._good_values(patterns)
+        good = self._good_values(packed)
         column = 0
         for batch in self._batches(faults):
             detect = self._plan(batch).detect_words(good)
@@ -265,13 +330,13 @@ class BatchFaultSimulator:
                 bitorder="little",
             )
             result[:, column : column + len(batch)] = (
-                bits[:, : len(patterns)].astype(bool).T
+                bits[:, : packed.n_patterns].astype(bool).T
             )
             column += len(batch)
         return result
 
     def detected(
-        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+        self, patterns: PatternsLike, faults: Sequence[Fault]
     ) -> list[bool]:
         """Per-fault flag: does *any* pattern detect the fault?
 
@@ -285,7 +350,7 @@ class BatchFaultSimulator:
         return flags
 
     def first_detection_index(
-        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+        self, patterns: PatternsLike, faults: Sequence[Fault]
     ) -> list[int | None]:
         """For each fault, the index of the first detecting pattern
         (``None`` if undetected).  Used for test-set trimming."""
@@ -295,7 +360,7 @@ class BatchFaultSimulator:
         return indices
 
     def fault_coverage(
-        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+        self, patterns: PatternsLike, faults: Sequence[Fault]
     ) -> float:
         """Fraction of ``faults`` detected by ``patterns`` (0..1)."""
         if not faults:
@@ -305,46 +370,102 @@ class BatchFaultSimulator:
 
     def detection_matrix_rows(
         self,
-        pattern_sets: Iterable[Sequence[BitVector]],
+        pattern_sets: Iterable[PatternsLike],
         faults: Sequence[Fault],
+        row_chunk_words: int | None = None,
     ) -> Iterator[np.ndarray]:
         """Stream Detection Matrix rows: one boolean ``(n_faults,)`` row
         per pattern set, ``row[f]`` True iff some pattern detects fault
         ``f``.
 
         The fault batching is fixed up front, so every row reuses the
-        same cached cone-union schedules; each row's fault-free values
-        are simulated exactly once.
+        same cached cone-union schedules.  Rows are packed word-aligned
+        and accumulated into chunks of up to ``row_chunk_words`` words
+        (default: the simulator's ``row_chunk_words``); each chunk pays
+        one fault-free simulation and one :meth:`_BatchPlan.detect_words`
+        per fault batch for *all* its rows, which is where the engine's
+        throughput over per-row simulation comes from.  Results are
+        bit-identical to per-row simulation (``row_chunk_words=1``
+        degenerates to exactly that).
         """
         faults = list(faults)
+        budget = (
+            self.row_chunk_words if row_chunk_words is None else row_chunk_words
+        )
+        if budget < 1:
+            raise ValueError(f"row_chunk_words must be >= 1, got {budget}")
         batches = list(self._batches(faults))
         plans = [self._plan(batch) for batch in batches]
+        chunk: list[PackedPatterns] = []
+        chunk_words = 0
         for patterns in pattern_sets:
-            row = np.zeros(len(faults), dtype=bool)
-            if patterns and faults:
-                good = self._good_values(patterns)
-                mask = tail_mask(len(patterns))
-                column = 0
-                for batch, plan in zip(batches, plans):
-                    detect = plan.detect_words(good)
-                    row[column : column + len(batch)] = np.any(
-                        detect & mask, axis=1
-                    )
-                    column += len(batch)
-            yield row
+            packed = as_packed(patterns, self.compiled.n_inputs)
+            chunk.append(packed)
+            chunk_words += packed.n_words
+            if chunk_words >= budget:
+                yield from self._row_chunk(chunk, len(faults), batches, plans)
+                chunk, chunk_words = [], 0
+        if chunk:
+            yield from self._row_chunk(chunk, len(faults), batches, plans)
+
+    def _row_chunk(
+        self,
+        chunk: list[PackedPatterns],
+        n_faults: int,
+        batches: list[tuple[Fault, ...]],
+        plans: list[_BatchPlan],
+    ) -> Iterator[np.ndarray]:
+        """Simulate one word-aligned chunk of packed rows together and
+        yield its per-row detection rows in order."""
+        rows = np.zeros((len(chunk), n_faults), dtype=bool)
+        # Word segment per non-empty row in the combined pattern axis.
+        starts: list[int] = []
+        row_of_segment: list[int] = []
+        offset = 0
+        for row_index, packed in enumerate(chunk):
+            if packed.n_words:
+                starts.append(offset)
+                row_of_segment.append(row_index)
+                offset += packed.n_words
+        if offset and n_faults:
+            combined = PackedPatterns(
+                np.concatenate(
+                    [p.words for p in chunk if p.n_words], axis=1
+                ),
+                offset * 64,
+            )
+            mask = np.concatenate(
+                [p.tail_mask() for p in chunk if p.n_words]
+            )
+            good = self._good_values(combined)
+            segment_starts = np.array(starts, dtype=np.int64)
+            column = 0
+            for batch, plan in zip(batches, plans):
+                hits = plan.detect_words(good) & mask
+                # One segmented any-reduction over the word axis gives
+                # every row's verdict for this batch at once.
+                reduced = np.bitwise_or.reduceat(hits, segment_starts, axis=1)
+                rows[row_of_segment, column : column + len(batch)] = (
+                    reduced != 0
+                ).T
+                column += len(batch)
+        for row in rows:
+            # Independent arrays, not views of the chunk buffer — rows
+            # stay safe to mutate, exactly like the per-row engine's.
+            yield row.copy()
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
-    def _good_values(self, patterns: Sequence[BitVector]) -> np.ndarray:
-        input_words = pack_patterns(list(patterns), self.compiled.n_inputs)
-        n_words = input_words.shape[1]
+    def _good_values(self, patterns: PatternsLike) -> np.ndarray:
+        packed = as_packed(patterns, self.compiled.n_inputs)
+        n_words = packed.n_words
         if self._good_buf is None or self._good_buf.shape[1] != n_words:
             self._good_buf = np.empty(
                 (self.compiled.n_nodes, n_words), dtype=np.uint64
             )
-        return self.compiled.simulate_words(input_words, out=self._good_buf)
+        return self.compiled.simulate_words(packed.words, out=self._good_buf)
 
     def _batches(self, faults: Sequence[Fault]) -> Iterator[tuple[Fault, ...]]:
         for start in range(0, len(faults), self.batch_size):
@@ -361,39 +482,55 @@ class BatchFaultSimulator:
         plan = self._plan_cache.get(faults)
         if plan is None:
             plan = _BatchPlan(self.compiled, faults, cone_of=self._cone)
+            self.plan_builds += 1
             self._plan_cache[faults] = plan
             while len(self._plan_cache) > PLAN_CACHE_SIZE:
                 self._plan_cache.popitem(last=False)
         else:
+            self.plan_cache_hits += 1
             self._plan_cache.move_to_end(faults)
         return plan
 
     def _scan_detections(
-        self, patterns: Sequence[BitVector], faults: Sequence[Fault]
+        self, patterns: PatternsLike, faults: Sequence[Fault]
     ) -> Iterator[tuple[int, int]]:
         """Yield ``(fault index, first detecting pattern index)`` pairs,
-        scanning word windows in order with fault dropping."""
-        if not patterns or not faults:
+        scanning word windows in order with fault dropping.
+
+        Batch membership is fixed up front; when dropping shrinks a
+        batch, the batch *subsets* its compiled plan via an index mask
+        (:meth:`_BatchPlan.subset`) instead of rebuilding cone unions
+        for the survivor tuple, so a scan's structural cost is paid once
+        in the first window regardless of how fast faults drop.
+        """
+        packed = as_packed(patterns, self.compiled.n_inputs)
+        if not packed.n_patterns or not faults:
             return
-        good = self._good_values(patterns)
+        good = self._good_values(packed)
         n_words = good.shape[1]
-        mask = tail_mask(len(patterns))
-        active = list(range(len(faults)))
+        mask = packed.tail_mask()
+        # Per-batch survivor state: (original fault indices, live plan).
+        states: list[tuple[list[int], _BatchPlan]] = []
+        for start in range(0, len(faults), self.batch_size):
+            indices = list(range(start, min(start + self.batch_size, len(faults))))
+            states.append(
+                (indices, self._plan(tuple(faults[i] for i in indices)))
+            )
         for word_start in range(0, n_words, self.drop_window_words):
-            if not active:
+            if not states:
                 return
             word_end = min(word_start + self.drop_window_words, n_words)
+            last_window = word_end >= n_words
             window = np.ascontiguousarray(good[:, word_start:word_end])
             window_mask = mask[word_start:word_end]
-            survivors: list[int] = []
-            for start in range(0, len(active), self.batch_size):
-                batch_indices = active[start : start + self.batch_size]
-                batch = tuple(faults[i] for i in batch_indices)
-                detect = self._plan(batch).detect_words(window) & window_mask
+            next_states: list[tuple[list[int], _BatchPlan]] = []
+            for indices, plan in states:
+                detect = plan.detect_words(window) & window_mask
                 hits = detect.any(axis=1)
-                for row, fault_index in enumerate(batch_indices):
+                surviving_rows: list[int] = []
+                for row, fault_index in enumerate(indices):
                     if not hits[row]:
-                        survivors.append(fault_index)
+                        surviving_rows.append(row)
                         continue
                     words = detect[row]
                     word_offset = int(np.flatnonzero(words)[0])
@@ -403,43 +540,148 @@ class BatchFaultSimulator:
                         + (word & -word).bit_length()
                         - 1
                     )
-            active = survivors
+                # Survivor bookkeeping only matters if another window
+                # will run; the final window skips the subsetting work.
+                if last_window or not surviving_rows:
+                    continue
+                if len(surviving_rows) < len(indices):
+                    plan = plan.subset(surviving_rows)
+                    self.plan_subsets += 1
+                    indices = [indices[row] for row in surviving_rows]
+                next_states.append((indices, plan))
+            states = next_states
 
 
 # ----------------------------------------------------------------------
 # opt-in multiprocessing path (row-parallel Detection Matrix rows)
 # ----------------------------------------------------------------------
 
-_worker_simulator: BatchFaultSimulator | None = None
-_worker_faults: list[Fault] = []
+
+class _SharedRowState:
+    """Read-only state every worker needs: the packed pattern rows plus
+    the simulator (circuit compiled, fault-batch plans pre-built).
+
+    On ``fork`` platforms the parent builds this once, backs the word
+    array with a ``multiprocessing.shared_memory`` block, and publishes
+    it as a module global *before* spawning the pool — children inherit
+    the mapping, so job payloads carry only row indices and nothing is
+    re-pickled or re-compiled per job.  On spawn platforms the same
+    object is reconstructed once per worker from pickled pieces (the
+    fallback documented on :func:`parallel_detection_rows`).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: list[Fault],
+        batch_size: int,
+        words: np.ndarray,
+        row_word_starts: np.ndarray,
+        row_pattern_counts: np.ndarray,
+    ) -> None:
+        self.circuit = circuit
+        self.faults = faults
+        self.batch_size = batch_size
+        self.words = words
+        self.row_word_starts = row_word_starts  # (n_rows + 1,) word offsets
+        self.row_pattern_counts = row_pattern_counts
+        self._simulator: BatchFaultSimulator | None = None
+
+    def simulator(self) -> BatchFaultSimulator:
+        if self._simulator is None:
+            self._simulator = BatchFaultSimulator(
+                self.circuit, batch_size=self.batch_size
+            )
+        return self._simulator
+
+    def prebuild_plans(self) -> None:
+        """Compile the circuit and every fault-batch plan now (parent
+        side, before forking) so children inherit them read-only."""
+        simulator = self.simulator()
+        for batch in simulator._batches(self.faults):
+            simulator._plan(batch)
+
+    def row(self, index: int) -> PackedPatterns:
+        lo = int(self.row_word_starts[index])
+        hi = int(self.row_word_starts[index + 1])
+        return PackedPatterns(
+            self.words[:, lo:hi], int(self.row_pattern_counts[index])
+        )
+
+    def rows(self, start: int, stop: int) -> list[PackedPatterns]:
+        return [self.row(index) for index in range(start, stop)]
 
 
-def _init_worker(circuit: Circuit, faults: list[Fault], batch_size: int) -> None:
-    global _worker_simulator, _worker_faults
-    _worker_simulator = BatchFaultSimulator(circuit, batch_size=batch_size)
-    _worker_faults = faults
+_shared_row_state: _SharedRowState | None = None
 
 
-def _worker_rows(job: tuple[int, list[list[int]], int]) -> tuple[int, np.ndarray]:
-    start, pattern_values, width = job
-    assert _worker_simulator is not None, "worker pool not initialised"
-    pattern_sets = [
-        [BitVector(value, width) for value in values] for values in pattern_values
-    ]
+def _init_spawned_worker(
+    circuit: Circuit,
+    faults: list[Fault],
+    batch_size: int,
+    words: np.ndarray,
+    row_word_starts: np.ndarray,
+    row_pattern_counts: np.ndarray,
+) -> None:
+    """Pool initializer for the pickle fallback: rebuild the shared
+    state once per worker (not once per job)."""
+    global _shared_row_state
+    _shared_row_state = _SharedRowState(
+        circuit, faults, batch_size, words, row_word_starts, row_pattern_counts
+    )
+
+
+def _worker_row_range(job: tuple[int, int]) -> tuple[int, np.ndarray]:
+    """Simulate detection rows ``[start, stop)`` against the shared
+    (fork-inherited or initializer-rebuilt) pattern state."""
+    start, stop = job
+    state = _shared_row_state
+    assert state is not None, "worker pool not initialised"
+    simulator = state.simulator()
     rows = list(
-        _worker_simulator.detection_matrix_rows(pattern_sets, _worker_faults)
+        simulator.detection_matrix_rows(state.rows(start, stop), state.faults)
     )
     stacked = (
         np.array(rows, dtype=bool)
         if rows
-        else np.zeros((0, len(_worker_faults)), dtype=bool)
+        else np.zeros((0, len(state.faults)), dtype=bool)
     )
     return start, stacked
 
 
+def _row_jobs(n_rows: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``n_rows`` into ``(start, stop)`` jobs, ~4 per worker.
+
+    Jobs are index ranges into the shared packed-row state — their
+    pickled payload is O(1) per job regardless of how many patterns the
+    rows hold (the regression suite pins this).
+    """
+    chunk = max(1, -(-n_rows // (workers * 4)))
+    return [
+        (start, min(start + chunk, n_rows)) for start in range(0, n_rows, chunk)
+    ]
+
+
+def _pack_rows(
+    pattern_sets: Sequence[Sequence[BitVector] | PackedPatterns], width: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack every row word-aligned into one contiguous buffer; returns
+    ``(words, row_word_starts, row_pattern_counts)``."""
+    packed_rows = [as_packed(patterns, width) for patterns in pattern_sets]
+    starts = np.zeros(len(packed_rows) + 1, dtype=np.int64)
+    counts = np.array([p.n_patterns for p in packed_rows], dtype=np.int64)
+    for index, packed in enumerate(packed_rows):
+        starts[index + 1] = starts[index] + packed.n_words
+    total_words = int(starts[-1])
+    words = np.empty((width, total_words), dtype=np.uint64)
+    for index, packed in enumerate(packed_rows):
+        words[:, starts[index] : starts[index + 1]] = packed.words
+    return words, starts, counts
+
+
 def parallel_detection_rows(
     circuit: Circuit,
-    pattern_sets: Sequence[Sequence[BitVector]],
+    pattern_sets: Sequence[Sequence[BitVector] | PackedPatterns],
     faults: Sequence[Fault],
     workers: int,
     batch_size: int = DEFAULT_BATCH_SIZE,
@@ -447,10 +689,15 @@ def parallel_detection_rows(
     """Build ``(n_rows, n_faults)`` any-pattern detection rows with a
     process pool: rows are independent, so they shard cleanly.
 
-    Each worker compiles the circuit once (pool initializer) and streams
-    its row chunk through :meth:`BatchFaultSimulator.detection_matrix_rows`.
-    Patterns cross the process boundary as plain integers to keep pickling
-    cheap.  Row order (and every entry) is identical to the serial path.
+    The pattern rows are packed word-parallel **once** in the parent.
+    On ``fork`` start methods the packed words live in a
+    ``multiprocessing.shared_memory`` block and the compiled simulator
+    (circuit + fault-batch plans) is published as a module global, so
+    every worker inherits the read-only state and each job's payload is
+    a bare ``(start, stop)`` row range — O(1), not O(n_patterns).  On
+    spawn platforms the packed state is pickled once per *worker*
+    through the pool initializer (never per job).  Row order (and every
+    entry) is identical to the serial path.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -465,22 +712,59 @@ def parallel_detection_rows(
         ):
             matrix[row] = values
         return matrix
+    import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
 
-    width = circuit.n_inputs
-    chunk = max(1, -(-n_rows // (workers * 4)))
-    jobs: list[tuple[int, list[list[int]], int]] = []
-    for start in range(0, n_rows, chunk):
-        values = [
-            [pattern.value for pattern in patterns]
-            for patterns in pattern_sets[start : start + chunk]
-        ]
-        jobs.append((start, values, width))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(circuit, list(faults), batch_size),
-    ) as pool:
-        for start, rows in pool.map(_worker_rows, jobs):
-            matrix[start : start + rows.shape[0]] = rows
+    words, row_word_starts, row_pattern_counts = _pack_rows(
+        pattern_sets, circuit.n_inputs
+    )
+    jobs = _row_jobs(n_rows, workers)
+    use_fork = multiprocessing.get_start_method() == "fork"
+    shm = None
+    global _shared_row_state
+    try:
+        if use_fork:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, words.nbytes)
+            )
+            shared_words = np.ndarray(
+                words.shape, dtype=np.uint64, buffer=shm.buf
+            )
+            shared_words[:] = words
+            state = _SharedRowState(
+                circuit,
+                list(faults),
+                batch_size,
+                shared_words,
+                row_word_starts,
+                row_pattern_counts,
+            )
+            # Pay compilation + plan construction once, pre-fork: the
+            # children inherit the schedules copy-on-write.
+            state.prebuild_plans()
+            _shared_row_state = state
+            pool = ProcessPoolExecutor(max_workers=workers)
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_spawned_worker,
+                initargs=(
+                    circuit,
+                    list(faults),
+                    batch_size,
+                    words,
+                    row_word_starts,
+                    row_pattern_counts,
+                ),
+            )
+        with pool:
+            for start, rows in pool.map(_worker_row_range, jobs):
+                matrix[start : start + rows.shape[0]] = rows
+    finally:
+        _shared_row_state = None
+        if shm is not None:
+            shm.close()
+            shm.unlink()
     return matrix

@@ -20,7 +20,23 @@ import numpy as np
 
 from repro.circuit.gates import GateType, reduce_gate_words
 from repro.circuit.netlist import Circuit
-from repro.utils.bitvec import WORD_BITS, BitVector, pack_patterns, unpack_words
+from repro.utils.bitvec import (
+    WORD_BITS,
+    BitVector,
+    PackedPatterns,
+    as_packed,
+    n_words_for,
+    tail_mask,
+    unpack_words,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "simulate_patterns",
+    "n_words_for",
+    "tail_mask",
+    "WORD_BITS",
+]
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -157,15 +173,21 @@ class CompiledCircuit:
             )
         return values
 
-    def simulate_patterns(self, patterns: Sequence[BitVector]) -> list[BitVector]:
+    def simulate_patterns(
+        self, patterns: Sequence[BitVector] | PackedPatterns
+    ) -> list[BitVector]:
         """Simulate individual patterns; returns one output vector per
-        pattern (bit ``k`` = value of ``circuit.outputs[k]``)."""
-        if not patterns:
+        pattern (bit ``k`` = value of ``circuit.outputs[k]``).
+
+        Accepts a plain sequence (packed here) or an already-packed
+        :class:`~repro.utils.bitvec.PackedPatterns`.
+        """
+        if not len(patterns):
             return []
-        input_words = pack_patterns(list(patterns), self.n_inputs)
-        values = self.simulate_words(input_words)
+        packed = as_packed(patterns, self.n_inputs)
+        values = self.simulate_words(packed.words)
         output_words = values[self.output_ids, :]
-        return unpack_words(output_words, len(patterns))
+        return unpack_words(output_words, packed.n_patterns)
 
     def output_cone_ids(self, node_id: int) -> list[int]:
         """Transitive fanout of ``node_id`` in topological order,
@@ -191,16 +213,6 @@ def simulate_patterns(
     return CompiledCircuit(circuit).simulate_patterns(patterns)
 
 
-def n_words_for(n_patterns: int) -> int:
-    """Number of 64-bit words needed for ``n_patterns`` patterns."""
-    return (n_patterns + WORD_BITS - 1) // WORD_BITS
-
-
-def tail_mask(n_patterns: int) -> np.ndarray:
-    """Per-word mask of valid pattern bits for ``n_patterns`` patterns."""
-    n_words = n_words_for(n_patterns)
-    mask = np.full(n_words, _ALL_ONES, dtype=np.uint64)
-    tail = n_patterns % WORD_BITS
-    if tail and n_words:
-        mask[-1] = np.uint64((1 << tail) - 1)
-    return mask
+# ``n_words_for`` / ``tail_mask`` live in :mod:`repro.utils.bitvec`
+# (next to the packing they describe) and are re-exported here for the
+# simulator-facing import path.

@@ -1,6 +1,12 @@
 """Shared low-level utilities: bit vectors, RNG streams, ASCII tables."""
 
-from repro.utils.bitvec import BitVector, pack_patterns, unpack_words
+from repro.utils.bitvec import (
+    BitVector,
+    PackedPatterns,
+    as_packed,
+    pack_patterns,
+    unpack_words,
+)
 from repro.utils.registry import Registry, UnknownComponentError
 from repro.utils.rng import RngStream, derive_seed
 from repro.utils.tables import AsciiTable
@@ -8,9 +14,11 @@ from repro.utils.tables import AsciiTable
 __all__ = [
     "AsciiTable",
     "BitVector",
+    "PackedPatterns",
     "Registry",
     "RngStream",
     "UnknownComponentError",
+    "as_packed",
     "derive_seed",
     "pack_patterns",
     "unpack_words",

@@ -6,9 +6,15 @@ values of one circuit node across 64 test patterns are stored in a single
 patterns at once.  This module provides
 
 * :class:`BitVector` — an immutable fixed-width bit vector used for test
-  patterns, TPG seeds and register values, and
-* :func:`pack_patterns` / :func:`unpack_words` — conversion between
-  per-pattern bit vectors and the word-parallel layout.
+  patterns, TPG seeds and register values,
+* :func:`pack_patterns` / :func:`unpack_words` — vectorized conversion
+  between per-pattern bit vectors and the word-parallel layout (the
+  scalar reference implementations survive as
+  :func:`pack_patterns_scalar` / :func:`unpack_words_scalar` for the
+  differential suite), and
+* :class:`PackedPatterns` — a pattern sequence carried in packed form,
+  so pattern sets are packed once per session instead of once per
+  simulator call.
 """
 
 from __future__ import annotations
@@ -196,14 +202,27 @@ class BitVector:
         return format(self._value, f"0{self._width}b")
 
 
-def pack_patterns(patterns: Sequence[BitVector], width: int) -> np.ndarray:
-    """Pack per-pattern bit vectors into word-parallel node words.
+def n_words_for(n_patterns: int) -> int:
+    """Number of 64-bit words needed for ``n_patterns`` patterns."""
+    return (n_patterns + WORD_BITS - 1) // WORD_BITS
 
-    Returns an array of shape ``(width, n_words)`` with dtype ``uint64``:
-    ``result[b, w]`` holds bit ``b`` of patterns ``64*w .. 64*w+63`` (one
-    pattern per word bit, pattern ``64*w`` in bit 0 of the word).
 
-    Patterns narrower or wider than ``width`` are rejected.
+def tail_mask(n_patterns: int) -> np.ndarray:
+    """Per-word mask of valid pattern bits for ``n_patterns`` patterns."""
+    n_words = n_words_for(n_patterns)
+    mask = np.full(n_words, np.uint64(_WORD_MASK), dtype=np.uint64)
+    tail = n_patterns % WORD_BITS
+    if tail and n_words:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_patterns_scalar(patterns: Sequence[BitVector], width: int) -> np.ndarray:
+    """Reference scalar implementation of :func:`pack_patterns`.
+
+    One Python-level bit test per (pattern, input bit) — obviously
+    correct, and kept as the oracle the vectorized implementation is
+    differentially tested against.
     """
     if not patterns:
         return np.zeros((width, 0), dtype=np.uint64)
@@ -222,12 +241,8 @@ def pack_patterns(patterns: Sequence[BitVector], width: int) -> np.ndarray:
     return out
 
 
-def unpack_words(words: np.ndarray, n_patterns: int) -> list[BitVector]:
-    """Inverse of :func:`pack_patterns`.
-
-    ``words`` has shape ``(width, n_words)``; the result is ``n_patterns``
-    bit vectors of width ``words.shape[0]``.
-    """
+def unpack_words_scalar(words: np.ndarray, n_patterns: int) -> list[BitVector]:
+    """Reference scalar implementation of :func:`unpack_words`."""
     width = words.shape[0]
     patterns: list[BitVector] = []
     for index in range(n_patterns):
@@ -238,6 +253,191 @@ def unpack_words(words: np.ndarray, n_patterns: int) -> list[BitVector]:
                 value |= 1 << input_bit
         patterns.append(BitVector(value, width))
     return patterns
+
+
+def pack_patterns(patterns: Sequence[BitVector], width: int) -> np.ndarray:
+    """Pack per-pattern bit vectors into word-parallel node words.
+
+    Returns an array of shape ``(width, n_words)`` with dtype ``uint64``:
+    ``result[b, w]`` holds bit ``b`` of patterns ``64*w .. 64*w+63`` (one
+    pattern per word bit, pattern ``64*w`` in bit 0 of the word).
+
+    Patterns narrower or wider than ``width`` are rejected.
+
+    Vectorized: pattern values are serialised to a little-endian byte
+    matrix in one pass, then transposed bit-by-bit with
+    ``np.unpackbits`` / ``np.packbits`` — no per-(pattern, bit) Python
+    loop.  Bit-identical to :func:`pack_patterns_scalar`.
+    """
+    if not patterns:
+        return np.zeros((width, 0), dtype=np.uint64)
+    n_patterns = len(patterns)
+    n_words = (n_patterns + WORD_BITS - 1) // WORD_BITS
+    n_bytes = (width + 7) // 8
+    for index, pattern in enumerate(patterns):
+        if pattern.width != width:
+            raise ValueError(
+                f"pattern {index} has width {pattern.width}, expected {width}"
+            )
+    raw = b"".join(p._value.to_bytes(n_bytes, "little") for p in patterns)
+    byte_matrix = np.frombuffer(raw, dtype=np.uint8).reshape(n_patterns, n_bytes)
+    # (n_patterns, width): bits[i, b] = bit b of pattern i.
+    bits = np.unpackbits(byte_matrix, axis=1, bitorder="little")[:, :width]
+    padded = np.zeros((n_words * WORD_BITS, width), dtype=np.uint8)
+    padded[:n_patterns] = bits
+    # Pack along the pattern axis: byte j of column b covers patterns
+    # 8j..8j+7; 8 consecutive bytes assemble one little-endian word.
+    packed = np.packbits(padded, axis=0, bitorder="little")
+    return (
+        np.ascontiguousarray(packed.T)
+        .view(np.dtype("<u8"))
+        .astype(np.uint64, copy=False)
+    )
+
+
+def unpack_words(words: np.ndarray, n_patterns: int) -> list[BitVector]:
+    """Inverse of :func:`pack_patterns`.
+
+    ``words`` has shape ``(width, n_words)``; the result is ``n_patterns``
+    bit vectors of width ``words.shape[0]``.  Vectorized like
+    :func:`pack_patterns`; bit-identical to :func:`unpack_words_scalar`.
+    """
+    width = words.shape[0]
+    if n_patterns == 0:
+        return []
+    if n_patterns > words.shape[1] * WORD_BITS:
+        raise ValueError(
+            f"{n_patterns} patterns do not fit in {words.shape[1]} words"
+        )
+    byte_view = (
+        np.ascontiguousarray(words)
+        .astype(np.dtype("<u8"), copy=False)
+        .view(np.uint8)
+        .reshape(width, -1)
+    )
+    # (width, n_patterns) -> (n_patterns, width): bit b of pattern i.
+    bits = np.unpackbits(byte_view, axis=1, bitorder="little")[:, :n_patterns]
+    packed = np.packbits(bits.T, axis=1, bitorder="little")
+    row_bytes = packed.tobytes()
+    n_bytes = packed.shape[1]
+    return [
+        BitVector(
+            int.from_bytes(row_bytes[i * n_bytes : (i + 1) * n_bytes], "little"),
+            width,
+        )
+        for i in range(n_patterns)
+    ]
+
+
+class PackedPatterns:
+    """A pattern sequence in its word-parallel packed form.
+
+    The simulators consume patterns as ``(width, n_words)`` ``uint64``
+    words; packing a ``Sequence[BitVector]`` is pure conversion
+    overhead, so callers that reuse one pattern sequence across many
+    queries (sessions, dictionaries, signature bisection) pack **once**
+    and hand the same :class:`PackedPatterns` to every call.
+
+    Instances are treated as immutable: the word array is shared between
+    views, never copied defensively, and must not be written to.
+    """
+
+    __slots__ = ("words", "n_patterns", "width")
+
+    def __init__(self, words: np.ndarray, n_patterns: int) -> None:
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError(f"words must be 2-D, got shape {words.shape}")
+        if not 0 <= n_patterns <= words.shape[1] * WORD_BITS:
+            raise ValueError(
+                f"{n_patterns} patterns do not fit in {words.shape[1]} words"
+            )
+        self.words = words
+        self.n_patterns = n_patterns
+        self.width = int(words.shape[0])
+
+    @classmethod
+    def from_patterns(
+        cls, patterns: Sequence[BitVector], width: int
+    ) -> "PackedPatterns":
+        """Pack ``patterns`` once (validating widths against ``width``)."""
+        return cls(pack_patterns(list(patterns), width), len(patterns))
+
+    @property
+    def n_words(self) -> int:
+        """Number of 64-pattern words per input row."""
+        return int(self.words.shape[1])
+
+    def tail_mask(self) -> np.ndarray:
+        """Per-word mask of valid pattern bits (one entry per buffer
+        word — trailing all-zero mask words when the buffer holds more
+        words than ``n_patterns`` needs)."""
+        needed = n_words_for(self.n_patterns)
+        if needed == self.n_words:
+            return tail_mask(self.n_patterns)
+        mask = np.zeros(self.n_words, dtype=np.uint64)
+        mask[:needed] = tail_mask(self.n_patterns)
+        return mask
+
+    def slice(self, start: int, stop: int) -> "PackedPatterns":
+        """The packed form of ``patterns[start:stop]``.
+
+        Word-aligned slices are views; unaligned slices funnel the bits
+        down with vectorized word shifts (no unpack/repack round trip).
+        """
+        if not 0 <= start <= stop <= self.n_patterns:
+            raise ValueError(
+                f"slice [{start}:{stop}) out of range for {self.n_patterns} patterns"
+            )
+        n_sliced = stop - start
+        if n_sliced == 0:
+            return PackedPatterns(
+                np.zeros((self.width, 0), dtype=np.uint64), 0
+            )
+        word_start, bit_start = divmod(start, WORD_BITS)
+        n_out = (n_sliced + WORD_BITS - 1) // WORD_BITS
+        if bit_start == 0:
+            return PackedPatterns(
+                self.words[:, word_start : word_start + n_out], n_sliced
+            )
+        lo = self.words[:, word_start : word_start + n_out]
+        out = lo >> np.uint64(bit_start)
+        hi = self.words[:, word_start + 1 : word_start + n_out + 1]
+        if hi.shape[1]:
+            out[:, : hi.shape[1]] |= hi << np.uint64(WORD_BITS - bit_start)
+        return PackedPatterns(out, n_sliced)
+
+    def unpack(self) -> list[BitVector]:
+        """The patterns back as :class:`BitVector` objects."""
+        return unpack_words(self.words, self.n_patterns)
+
+    def __len__(self) -> int:
+        return self.n_patterns
+
+    def __bool__(self) -> bool:
+        return self.n_patterns > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedPatterns(n_patterns={self.n_patterns}, width={self.width})"
+        )
+
+
+#: What simulator pattern arguments accept: an unpacked sequence or the
+#: pre-packed form.
+PatternsLike = Sequence[BitVector] | PackedPatterns
+
+
+def as_packed(patterns: PatternsLike, width: int) -> PackedPatterns:
+    """Coerce a pattern argument to :class:`PackedPatterns` (validating
+    the width either way)."""
+    if isinstance(patterns, PackedPatterns):
+        if patterns.width != width:
+            raise ValueError(
+                f"packed patterns have width {patterns.width}, expected {width}"
+            )
+        return patterns
+    return PackedPatterns.from_patterns(patterns, width)
 
 
 def ints_to_bitvectors(values: Iterable[int], width: int) -> list[BitVector]:

@@ -278,3 +278,34 @@ class TestSession:
         session2 = Session.from_name("c17", config=CONFIG, cache=cache)
         session2.run("adder", use_cache=False)
         assert cache.hits_for("pipeline_result") == before
+
+
+class TestSessionPackedPatterns:
+    def _patterns(self, c17, n=40):
+        from repro.utils.bitvec import BitVector
+        from repro.utils.rng import RngStream
+
+        rng = RngStream(7, "session-packed")
+        return [BitVector.random(c17.n_inputs, rng) for _ in range(n)]
+
+    def test_packed_patterns_coerces_and_passes_through(self, c17):
+        session = Session(c17, config=CONFIG)
+        patterns = self._patterns(c17)
+        packed = session.packed_patterns(patterns)
+        # An already-packed argument passes straight through (the
+        # pack-once contract: callers hold on to the result).
+        assert session.packed_patterns(packed) is packed
+        assert packed.width == c17.n_inputs
+        assert packed.unpack() == patterns
+
+    def test_fault_dictionary_accepts_packed(self, c17, tmp_path):
+        import numpy as np
+
+        session = Session(c17, config=CONFIG, cache=ArtifactCache(tmp_path))
+        patterns = self._patterns(c17)
+        from_list = session.fault_dictionary(patterns)
+        from_packed = session.fault_dictionary(session.packed_patterns(patterns))
+        np.testing.assert_array_equal(from_list.matrix, from_packed.matrix)
+        # List and packed arguments hash to the same cache key, so the
+        # second build was a warm hit.
+        assert session.cache.hits_for("fault_dictionary") == 1

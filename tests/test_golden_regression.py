@@ -73,6 +73,41 @@ def test_fault_coverage_pinned(name):
     )
 
 
+#: First-detection-index pins for the *incremental-plan* scan path
+#: (``drop_window_words=1`` forces a subset after every 64-pattern
+#: window): number of detected faults plus the sum of all first
+#: detection indices.  Together with the cold-path assertions below,
+#: these pin the warm (plan-subsetting) and cold (full-build) paths to
+#: each other — they can never diverge silently.
+GOLDEN_FIRST_DETECTION: dict[str, tuple[int, int]] = {
+    "c499": (920, 11328),
+    "c880": (1679, 20111),
+    "s420": (439, 4027),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FIRST_DETECTION))
+def test_incremental_plan_scan_pinned(name):
+    """The fault-dropping scan (plans subset mid-run via index masks)
+    reproduces the pinned first-detection indices, and a no-dropping
+    cold-plan run agrees index-for-index."""
+    from repro.sim.batch import BatchFaultSimulator
+
+    circuit, faults, patterns = _golden_workload(name)
+    expected_detected, expected_index_sum = GOLDEN_FIRST_DETECTION[name]
+    warm = BatchFaultSimulator(circuit, drop_window_words=1)
+    indices = warm.first_detection_index(patterns, faults)
+    assert warm.plan_subsets > 0, "scan never exercised plan subsetting"
+    detected = [index for index in indices if index is not None]
+    assert len(detected) == expected_detected == GOLDEN[name].n_detected
+    assert sum(detected) == expected_index_sum
+    # Cold path: one window spanning the whole set => no dropping, every
+    # plan built from scratch; must agree with the warm path bit-for-bit.
+    cold = BatchFaultSimulator(circuit, drop_window_words=64)
+    assert cold.first_detection_index(patterns, faults) == indices
+    assert cold.plan_subsets == 0
+
+
 #: End-to-end flow pins (scale 0.25, adder TPG, T=16, 512 random
 #: patterns, seed 2001): Table-1's (#Triplets, TestLength) per circuit.
 #: The stage/session machinery must reproduce these bit-identically to

@@ -187,6 +187,215 @@ class TestDetectionMatrixRows:
             parallel_detection_rows(c17, [], full_fault_list(c17), workers=0)
 
 
+class TestIncrementalPlans:
+    """Fault dropping must *subset* compiled plans (index masks), never
+    rebuild cone unions, and subset plans must stay bit-identical to
+    cold-built plans."""
+
+    def _workload(self, circuit, n_patterns=200, seed=11):
+        faults = full_fault_list(circuit)
+        patterns = _random_patterns(circuit, n_patterns, seed)
+        return faults, patterns
+
+    def test_drop_scan_subsets_instead_of_rebuilding(self, s27_scan):
+        faults, patterns = self._workload(s27_scan)
+        simulator = BatchFaultSimulator(
+            s27_scan, batch_size=8, drop_window_words=1
+        )
+        flags = simulator.detected(patterns, faults)
+        n_initial_batches = -(-len(faults) // 8)
+        # Every full construction happened up front (one per initial
+        # batch); the scan shrank batches via subsetting only.
+        assert simulator.plan_builds == n_initial_batches
+        assert simulator.plan_subsets > 0
+        builds_before = simulator.plan_builds
+        assert simulator.detected(patterns, faults) == flags
+        assert simulator.plan_builds == builds_before
+        assert flags == SerialFaultSimulator(s27_scan).detected(patterns, faults)
+
+    def test_dropping_never_resurrects_dropped_faults(self, s27_scan):
+        """A fault dropped in an early window must not be reported again
+        from a later window, and the warm (subset-plan) detection
+        indices must match a cold-plan run bit-for-bit."""
+        faults, patterns = self._workload(s27_scan, n_patterns=260, seed=21)
+        warm = BatchFaultSimulator(s27_scan, batch_size=4, drop_window_words=1)
+        seen: dict[int, int] = {}
+        for fault_index, position in warm._scan_detections(patterns, faults):
+            assert fault_index not in seen, "dropped fault resurfaced"
+            seen[fault_index] = position
+        cold = BatchFaultSimulator(s27_scan, batch_size=4, drop_window_words=64)
+        # One giant window => no dropping => every plan is cold-built.
+        assert cold.first_detection_index(patterns, faults) == [
+            seen.get(i) for i in range(len(faults))
+        ]
+
+    def test_subset_plan_matches_cold_plan(self, c17):
+        """detect_words of plan.subset(rows) == detect_words of a plan
+        built from scratch for the surviving fault tuple."""
+        faults = full_fault_list(c17)
+        patterns = _random_patterns(c17, 100, seed=31)
+        simulator = BatchFaultSimulator(c17, batch_size=len(faults))
+        good = simulator._good_values(patterns)
+        full_plan = simulator._plan(tuple(faults))
+        rows = [0, 3, 5, len(faults) - 1]
+        subset_plan = full_plan.subset(rows)
+        cold_plan = simulator._plan(tuple(faults[r] for r in rows))
+        mask = _np_tail_mask(len(patterns))
+        np.testing.assert_array_equal(
+            subset_plan.detect_words(good) & mask,
+            cold_plan.detect_words(good) & mask,
+        )
+
+    def test_subset_rejects_bad_rows(self, c17):
+        faults = full_fault_list(c17)
+        simulator = BatchFaultSimulator(c17, batch_size=len(faults))
+        plan = simulator._plan(tuple(faults))
+        with pytest.raises(ValueError):
+            plan.subset([0, 0])
+        with pytest.raises(ValueError):
+            plan.subset([len(faults)])
+
+    def test_mid_run_drop_matrix_matches_cold(self, mux_circuit):
+        """The satellite scenario end-to-end: run a dropping scan (which
+        subsets plans mid-run), then build the full detection matrix on
+        the same simulator and compare against a cold simulator."""
+        faults = full_fault_list(mux_circuit)
+        patterns = _random_patterns(mux_circuit, 150, seed=41)
+        warm = BatchFaultSimulator(mux_circuit, batch_size=3, drop_window_words=1)
+        warm.detected(patterns, faults)  # populates + subsets plans
+        cold = BatchFaultSimulator(mux_circuit, batch_size=3)
+        np.testing.assert_array_equal(
+            warm.detection_matrix(patterns, faults),
+            cold.detection_matrix(patterns, faults),
+        )
+
+
+def _np_tail_mask(n_patterns: int) -> np.ndarray:
+    from repro.sim.logic import tail_mask
+
+    return tail_mask(n_patterns)
+
+
+class TestChunkedRows:
+    """Row chunking is a pure throughput lever: any chunk budget must
+    produce rows identical to per-row simulation."""
+
+    @pytest.mark.parametrize("row_chunk_words", [1, 2, 3, 64])
+    def test_chunk_budgets_agree(self, c17, row_chunk_words):
+        simulator = FaultSimulator(c17)
+        faults = full_fault_list(c17)
+        pattern_sets = [
+            _random_patterns(c17, n, seed=50 + n) for n in (0, 1, 40, 0, 65, 129, 7)
+        ]
+        baseline = [
+            row.copy()
+            for row in simulator.detection_matrix_rows(
+                pattern_sets, faults, row_chunk_words=1
+            )
+        ]
+        chunked = list(
+            simulator.detection_matrix_rows(
+                pattern_sets, faults, row_chunk_words=row_chunk_words
+            )
+        )
+        assert len(baseline) == len(chunked) == len(pattern_sets)
+        for expected, actual in zip(baseline, chunked):
+            np.testing.assert_array_equal(expected, actual)
+
+    def test_packed_rows_accepted(self, c17):
+        from repro.utils.bitvec import PackedPatterns
+
+        simulator = FaultSimulator(c17)
+        faults = full_fault_list(c17)
+        pattern_sets = [_random_patterns(c17, n, seed=n) for n in (5, 70, 3)]
+        packed_sets = [
+            PackedPatterns.from_patterns(patterns, c17.n_inputs)
+            for patterns in pattern_sets
+        ]
+        unpacked_rows = list(
+            simulator.detection_matrix_rows(pattern_sets, faults)
+        )
+        packed_rows = list(
+            simulator.detection_matrix_rows(packed_sets, faults)
+        )
+        for expected, actual in zip(unpacked_rows, packed_rows):
+            np.testing.assert_array_equal(expected, actual)
+
+    def test_rejects_bad_budget(self, c17):
+        simulator = FaultSimulator(c17)
+        with pytest.raises(ValueError):
+            list(
+                simulator.detection_matrix_rows(
+                    [[BitVector(1, 5)]], full_fault_list(c17), row_chunk_words=0
+                )
+            )
+
+
+class TestParallelJobPayloads:
+    """The ``workers=N`` jobs must reference the shared packed state by
+    row index — payload size is O(1) per job, not O(n_patterns)."""
+
+    def test_jobs_cover_rows_in_order(self):
+        from repro.sim.batch import _row_jobs
+
+        jobs = _row_jobs(10, workers=2)
+        assert jobs[0][0] == 0 and jobs[-1][1] == 10
+        flat = [r for start, stop in jobs for r in range(start, stop)]
+        assert flat == list(range(10))
+
+    def test_payload_independent_of_pattern_count(self, c17):
+        """Satellite regression: the old path re-pickled O(n_patterns)
+        pattern values into every job; jobs are now bare row ranges."""
+        import pickle
+
+        from repro.sim.batch import _pack_rows, _row_jobs
+
+        small = [_random_patterns(c17, 4, seed=r) for r in range(8)]
+        huge = [_random_patterns(c17, 4096, seed=r) for r in range(8)]
+        jobs_small = _row_jobs(len(small), workers=2)
+        jobs_huge = _row_jobs(len(huge), workers=2)
+        payload_small = max(len(pickle.dumps(job)) for job in jobs_small)
+        payload_huge = max(len(pickle.dumps(job)) for job in jobs_huge)
+        assert payload_huge == payload_small  # O(1), not O(n_patterns)
+        assert payload_huge < 128
+        # ... while the packed shared state really holds the patterns.
+        words_small, *_ = _pack_rows(small, c17.n_inputs)
+        words_huge, *_ = _pack_rows(huge, c17.n_inputs)
+        assert words_huge.nbytes > words_small.nbytes
+
+    def test_pack_rows_layout(self, c17):
+        from repro.sim.batch import _pack_rows
+        from repro.utils.bitvec import PackedPatterns
+
+        pattern_sets = [_random_patterns(c17, n, seed=n) for n in (3, 0, 70)]
+        words, starts, counts = _pack_rows(pattern_sets, c17.n_inputs)
+        assert counts.tolist() == [3, 0, 70]
+        assert starts.tolist() == [0, 1, 1, 3]
+        for index, patterns in enumerate(pattern_sets):
+            row = PackedPatterns(
+                words[:, starts[index] : starts[index + 1]], counts[index]
+            )
+            assert row.unpack() == patterns
+
+    def test_parallel_rows_with_chunked_state(self, s27_scan):
+        """End-to-end through the shared-memory path on a bigger circuit
+        with uneven row sizes."""
+        from repro.sim.batch import parallel_detection_rows
+
+        faults = full_fault_list(s27_scan)
+        pattern_sets = [
+            _random_patterns(s27_scan, n, seed=60 + n) for n in (9, 0, 130, 64, 1)
+        ]
+        serial = SerialFaultSimulator(s27_scan)
+        expected = np.array(
+            [serial.detected(patterns, faults) for patterns in pattern_sets]
+        )
+        result = parallel_detection_rows(
+            s27_scan, pattern_sets, faults, workers=2
+        )
+        np.testing.assert_array_equal(result, expected)
+
+
 class TestPropertyDifferential:
     @settings(
         max_examples=15,

@@ -9,9 +9,13 @@ from hypothesis import strategies as st
 
 from repro.utils.bitvec import (
     BitVector,
+    PackedPatterns,
+    as_packed,
     ints_to_bitvectors,
     pack_patterns,
+    pack_patterns_scalar,
     unpack_words,
+    unpack_words_scalar,
 )
 
 
@@ -174,3 +178,123 @@ class TestPacking:
     def test_words_dtype(self):
         words = pack_patterns([BitVector(1, 2)], 2)
         assert words.dtype == np.uint64
+
+
+#: Pattern-list strategy over the widths the satellite audit calls out:
+#: 1..130 covers sub-byte, byte-, word- and multi-word-wide patterns.
+@st.composite
+def pattern_lists(draw):
+    width = draw(st.integers(min_value=1, max_value=130))
+    n_patterns = draw(st.integers(min_value=0, max_value=140))
+    rnd = draw(st.randoms(use_true_random=False))
+    return [
+        BitVector(rnd.getrandbits(width), width) for _ in range(n_patterns)
+    ], width
+
+
+class TestVectorizedScalarDifferential:
+    """The vectorized pack/unpack must be bit-identical to the scalar
+    reference, including at pattern counts ≢ 0 (mod 64) and widths that
+    straddle byte and word boundaries."""
+
+    @given(pattern_lists())
+    def test_pack_matches_scalar(self, patterns_width):
+        patterns, width = patterns_width
+        vectorized = pack_patterns(patterns, width)
+        scalar = pack_patterns_scalar(patterns, width)
+        assert vectorized.dtype == scalar.dtype == np.uint64
+        np.testing.assert_array_equal(vectorized, scalar)
+
+    @given(pattern_lists())
+    def test_unpack_matches_scalar_and_roundtrips(self, patterns_width):
+        patterns, width = patterns_width
+        words = pack_patterns(patterns, width)
+        n_patterns = len(patterns)
+        assert (
+            unpack_words(words, n_patterns)
+            == unpack_words_scalar(words, n_patterns)
+            == patterns
+        )
+
+    @pytest.mark.parametrize("width", [1, 7, 8, 9, 63, 64, 65, 130])
+    @pytest.mark.parametrize("n_patterns", [1, 63, 64, 65, 128, 129])
+    def test_word_boundary_grid(self, width, n_patterns):
+        patterns = [
+            BitVector((i * 0x9E3779B97F4A7C15) & ((1 << width) - 1), width)
+            for i in range(n_patterns)
+        ]
+        np.testing.assert_array_equal(
+            pack_patterns(patterns, width), pack_patterns_scalar(patterns, width)
+        )
+        assert unpack_words(pack_patterns(patterns, width), n_patterns) == patterns
+
+    def test_unpack_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            unpack_words(np.zeros((3, 1), dtype=np.uint64), 65)
+
+
+class TestPackedPatterns:
+    def _patterns(self, n, width=5, seed=99):
+        return [
+            BitVector((i * 73 + seed) & ((1 << width) - 1), width)
+            for i in range(n)
+        ]
+
+    def test_from_patterns_and_len(self):
+        patterns = self._patterns(70)
+        packed = PackedPatterns.from_patterns(patterns, 5)
+        assert len(packed) == 70 and packed.width == 5 and packed.n_words == 2
+        assert packed.unpack() == patterns
+
+    def test_bool_and_empty(self):
+        assert not PackedPatterns.from_patterns([], 4)
+        assert PackedPatterns.from_patterns(self._patterns(1), 5)
+
+    def test_tail_mask(self):
+        packed = PackedPatterns.from_patterns(self._patterns(65), 5)
+        mask = packed.tail_mask()
+        assert mask.shape == (2,)
+        assert int(mask[0]) == 0xFFFFFFFFFFFFFFFF and int(mask[1]) == 1
+
+    def test_tail_mask_oversize_buffer(self):
+        """A buffer with more words than n_patterns needs must mask the
+        surplus words to zero, not misplace the tail."""
+        packed = PackedPatterns(np.zeros((2, 3), dtype=np.uint64), 10)
+        mask = packed.tail_mask()
+        assert mask.tolist() == [(1 << 10) - 1, 0, 0]
+
+    @pytest.mark.parametrize(
+        "start,stop", [(0, 0), (0, 64), (0, 70), (64, 70), (3, 70), (65, 69), (1, 2)]
+    )
+    def test_slice_matches_list_slice(self, start, stop):
+        patterns = self._patterns(70)
+        packed = PackedPatterns.from_patterns(patterns, 5)
+        assert packed.slice(start, stop).unpack() == patterns[start:stop]
+
+    @given(
+        n=st.integers(0, 140),
+        cut=st.tuples(st.integers(0, 140), st.integers(0, 140)),
+    )
+    def test_slice_property(self, n, cut):
+        start, stop = sorted((min(c, n) for c in cut))
+        patterns = self._patterns(n, width=9)
+        packed = PackedPatterns.from_patterns(patterns, 9)
+        assert packed.slice(start, stop).unpack() == patterns[start:stop]
+
+    def test_slice_out_of_range(self):
+        packed = PackedPatterns.from_patterns(self._patterns(10), 5)
+        with pytest.raises(ValueError):
+            packed.slice(3, 11)
+
+    def test_as_packed_passthrough_and_width_check(self):
+        packed = PackedPatterns.from_patterns(self._patterns(10), 5)
+        assert as_packed(packed, 5) is packed
+        with pytest.raises(ValueError):
+            as_packed(packed, 6)
+
+    def test_as_packed_packs_sequences(self):
+        patterns = self._patterns(10)
+        packed = as_packed(patterns, 5)
+        np.testing.assert_array_equal(
+            packed.words, pack_patterns(patterns, 5)
+        )
