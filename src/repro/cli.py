@@ -29,6 +29,13 @@ from repro.utils.tables import AsciiTable
 
 
 def _cmd_catalog(args: argparse.Namespace) -> int:
+    """``repro catalog`` — the benchmark circuits and their statistics.
+
+    Examples::
+
+        python -m repro catalog          # ASCII table
+        python -m repro catalog --json   # machine-readable entries
+    """
     if args.json:
         entries = [
             {
@@ -79,6 +86,14 @@ def _pipeline_config_from_args(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    """``repro run`` — the full reseeding flow for one circuit/TPG.
+
+    Examples::
+
+        python -m repro run --circuit s1238 --tpg adder --evolution-length 32
+        python -m repro run --circuit c880 --tpg mp-lfsr --cache .repro-cache --json
+        python -m repro run --circuit s953 --uniform   # + shared-T refinement
+    """
     from repro.flow.report import solution_report
     from repro.flow.session import Session
     from repro.reseeding.uniform import storage_comparison, uniformize_solution
@@ -115,6 +130,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep`` — a circuits x TPGs x evolution-lengths grid.
+
+    Examples::
+
+        python -m repro sweep --circuits c880 s1238 --tpgs adder multiplier \\
+            --evolution-lengths 16 32 64 --cache .repro-cache --workers 2
+        python -m repro sweep --circuits s420 --tpgs adder --csv
+    """
     from repro.flow.pipeline import PipelineConfig
     from repro.flow.session import ArtifactCache
     from repro.flow.sweep import sweep
@@ -186,6 +209,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
+    """``repro atpg`` — the deterministic test-generation substrate alone.
+
+    Examples::
+
+        python -m repro atpg --circuit c880
+        python -m repro atpg --circuit s420 --patterns   # print the test set
+    """
     from repro.atpg.engine import AtpgEngine
 
     circuit = load_circuit(args.circuit, scale=args.scale)
@@ -199,6 +229,15 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
+    """``repro diagnose`` — inject faults, capture the fail log, diagnose.
+
+    Examples::
+
+        python -m repro diagnose --circuit c880 --top-k 5
+        python -m repro diagnose --circuit c880 --signature-only    # MISR bisection
+        python -m repro diagnose --circuit c880 --method dictionary --cache .repro-cache
+        python -m repro diagnose --circuit c880 --fault 'g27->g28.1/SA0' --json
+    """
     from repro.diagnosis import (
         choose_faults,
         fault_representatives,

@@ -104,6 +104,35 @@ def bool_matrix_to_dict(matrix: np.ndarray) -> dict[str, Any]:
     }
 
 
+def packed_patterns_to_dict(packed) -> dict[str, Any]:
+    """A :class:`~repro.utils.bitvec.PackedPatterns` as a schema-stamped
+    payload (hex-encoded little-endian word buffer) — the entry format
+    of the ``packed_evolution`` artifact-cache kind
+    (:meth:`repro.flow.session.Session.packed_evolution`)."""
+    words = np.ascontiguousarray(packed.words, dtype=np.uint64)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "packed_evolution",
+        "width": packed.width,
+        "n_patterns": packed.n_patterns,
+        "n_words": int(words.shape[1]),
+        "words": words.astype(np.dtype("<u8"), copy=False).tobytes().hex(),
+    }
+
+
+def packed_patterns_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`packed_patterns_to_dict`."""
+    from repro.utils.bitvec import PackedPatterns
+
+    check_schema(data, "packed_evolution")
+    words = (
+        np.frombuffer(bytes.fromhex(data["words"]), dtype=np.dtype("<u8"))
+        .astype(np.uint64, copy=False)
+        .reshape(data["width"], data["n_words"])
+    )
+    return PackedPatterns(words, data["n_patterns"])
+
+
 def bool_matrix_from_dict(data: dict[str, Any]) -> np.ndarray:
     """Inverse of :func:`bool_matrix_to_dict`."""
     rows, cols = data["shape"]

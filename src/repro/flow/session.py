@@ -142,6 +142,19 @@ class Session:
     keys.  ``run`` executes the staged Figure-1 flow for one TPG,
     reusing the session's circuit-level ATPG (and, when a cache is
     attached, skipping any work a previous process already did).
+
+    Example — three TPG flows sharing one ATPG run and one on-disk
+    cache, then a diagnosis against the same artefacts::
+
+        from repro import Session
+
+        session = Session.from_name("c880", scale=0.25, cache=".repro-cache")
+        for tpg in ("adder", "multiplier", "subtracter"):
+            result = session.run(tpg)          # ATPG computed once
+            print(result.summary())            # Table-1 vocabulary
+        info = session.run_info("adder")       # provenance included
+        assert info.from_cache                 # warm: served from disk
+        report = session.diagnose(fail_log, method="signature")
     """
 
     def __init__(
@@ -168,6 +181,9 @@ class Session:
         #: ATPG artefacts memoized per knob-set (seed, patterns, backtracks),
         #: so a multi-config sweep never recomputes an identical ATPG run.
         self._atpg_results: dict[tuple, AtpgResult] = {}
+        #: Packed seed-bank evolutions memoized per cache key — every
+        #: stage of every flow run through this session shares them.
+        self._evolutions: dict[str, "PackedPatterns"] = {}
         if atpg_result is not None:
             self._atpg_results[self._atpg_knobs(self.config)] = atpg_result
         self._atpg_seconds = 0.0
@@ -319,6 +335,7 @@ class Session:
             config=config,
             simulator=self.simulator,
             progress=self.progress,
+            evolution_cache=self.packed_evolution,
         )
         ctx.artifacts["atpg"] = atpg
         result = run_flow(ctx)
@@ -353,6 +370,69 @@ class Session:
         digest.update(f"{packed.width}:{packed.n_patterns}:".encode())
         digest.update(np.ascontiguousarray(packed.words).tobytes())
         return digest.hexdigest()
+
+    @staticmethod
+    def _seed_bank_digest(vectors) -> str:
+        """Content hash of a BitVector bank (little-endian value bytes)."""
+        digest = hashlib.sha256()
+        for vector in vectors:
+            digest.update(
+                vector.value.to_bytes((vector.width + 7) // 8, "little")
+            )
+        return digest.hexdigest()
+
+    def _evolution_key(self, tpg, deltas, sigmas, length: int) -> str:
+        """Packed-evolution cache key: the TPG's identity token plus the
+        exact (delta, sigma) bank and shared length."""
+        return ArtifactCache.key(
+            "packed_evolution",
+            tpg=tpg.cache_token(),
+            length=length,
+            deltas=self._seed_bank_digest(deltas),
+            sigmas=self._seed_bank_digest(sigmas),
+        )
+
+    def packed_evolution(self, tpg, deltas, sigmas, length: int):
+        """Batch-evolve a seed bank, memoized (memory -> cache -> compute).
+
+        Semantically identical to ``tpg.evolve_batch(deltas, sigmas,
+        length)`` — this is the session's
+        :data:`~repro.reseeding.triplet.EvolveBatch` provider, wired
+        into every flow run's
+        :class:`~repro.flow.stages.StageContext` so Detection Matrix
+        construction and trimming share evolutions across TPG runs and
+        (with a cache attached) across processes.  Keys cover the TPG's
+        :meth:`~repro.tpg.base.TestPatternGenerator.cache_token`, the
+        exact seed/sigma bank and the shared length, so distinct
+        generators can never serve each other's sequences.
+
+        Example::
+
+            session = Session.from_name("c880", scale=0.25, cache=".cache")
+            bank = session.packed_evolution(tpg, deltas, sigmas, 32)
+            # warm processes load the packed words instead of evolving
+        """
+        from repro.flow.serialize import (
+            packed_patterns_from_dict,
+            packed_patterns_to_dict,
+        )
+
+        key = self._evolution_key(tpg, deltas, sigmas, length)
+        packed = self._evolutions.get(key)
+        if packed is not None:
+            return packed
+        if self.cache is not None:
+            payload = self.cache.get(key, "packed_evolution")
+            if payload is not None:
+                packed = packed_patterns_from_dict(payload)
+                self._evolutions[key] = packed
+                self._emit(StageEvent("evolution", "cache-hit"))
+                return packed
+        packed = tpg.evolve_batch(deltas, sigmas, length)
+        self._evolutions[key] = packed
+        if self.cache is not None:
+            self.cache.put(key, packed_patterns_to_dict(packed))
+        return packed
 
     def packed_patterns(self, patterns) -> "PackedPatterns":
         """Coerce ``patterns`` to the word-parallel packed form the

@@ -77,6 +77,15 @@ class StageContext:
     artifacts: dict[str, object] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
     progress: ProgressHook | None = None
+    #: Optional batched-evolution provider with the
+    #: :data:`~repro.reseeding.triplet.EvolveBatch` signature.  When a
+    #: :class:`~repro.flow.session.Session` drives the flow this is its
+    #: :meth:`~repro.flow.session.Session.packed_evolution` — packed
+    #: seed-bank evolutions are then memoized in-process and (with a
+    #: cache attached) persisted per (tpg, sigma bank, length) in the
+    #: ArtifactCache.  ``None`` evolves directly via
+    #: :meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch`.
+    evolution_cache: object | None = None
 
     def emit(self, event: StageEvent) -> None:
         """Deliver ``event`` to the progress hook, if any."""
@@ -167,6 +176,7 @@ class MatrixStage(Stage):
             ctx.artifacts["atpg"],
             evolution_length=config.evolution_length,
             workers=config.matrix_workers,
+            evolve=ctx.evolution_cache,
         )
         return False
 
@@ -214,6 +224,7 @@ class TrimStage(Stage):
             ctx.artifacts["selected"],
             atpg.target_faults,
             simulator=ctx.simulator,
+            evolve=ctx.evolution_cache,
         )
         if trimmed.undetected:
             raise AssertionError(
@@ -328,6 +339,21 @@ class DiagnosisStage(Stage):
         return False
 
 
+#: The stage registry — custom flows insert, replace or reorder steps by
+#: name (unknown names raise with "did you mean" suggestions)::
+#:
+#:     from repro.flow.stages import STAGE_REGISTRY, Stage
+#:
+#:     class CompactStage(Stage):
+#:         name = "compact"
+#:         requires = ("trimmed",)
+#:         provides = ("compacted",)
+#:         def run(self, ctx):
+#:             ctx.artifacts["compacted"] = my_compactor(ctx.artifacts["trimmed"])
+#:             return False
+#:
+#:     STAGE_REGISTRY.register(CompactStage.name, CompactStage)
+#:     run_flow(ctx, [*DEFAULT_STAGES, "compact"])
 STAGE_REGISTRY: Registry[type[Stage]] = Registry("stage")
 STAGE_REGISTRY.register(AtpgStage.name, AtpgStage)
 STAGE_REGISTRY.register(MatrixStage.name, MatrixStage)

@@ -143,6 +143,22 @@ def sweep(
     loaded at ``scale``.  ``workers=N`` fans circuits out over a process
     pool (requires string TPG names); results are bit-identical to the
     serial path.
+
+    Example — the Figure-2 grid, resumable through a cache directory::
+
+        from repro.flow.sweep import sweep
+
+        grid = sweep(
+            ["c880", "s1238"],
+            ["adder", "multiplier"],
+            evolution_lengths=[16, 32, 64],
+            scale=0.25,
+            cache=".repro-cache",   # re-running skips finished cells
+            workers=2,              # one circuit per process
+        )
+        best = min(grid, key=lambda o: o.result.n_triplets)
+        print(best.circuit, best.tpg, best.result.summary())
+        print(f"{grid.n_cached}/{len(grid)} cells served from cache")
     """
     if not circuits:
         raise ValueError("sweep needs at least one circuit")

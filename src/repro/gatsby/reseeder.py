@@ -97,7 +97,10 @@ class GatsbyReseeder:
                 nonlocal simulations
                 simulations += 1
                 triplet = self._decode(genome)
-                patterns = triplet.test_set(self.tpg)
+                # Packed single-seed evolution: the GA's inner loop is
+                # fitness-bound, so patterns go straight to the
+                # simulator in word-parallel form.
+                patterns = triplet.packed_test_set(self.tpg)
                 flags = self.simulator.detected(patterns, remaining)
                 return float(sum(flags))
 
@@ -114,7 +117,7 @@ class GatsbyReseeder:
             stalls = 0
             triplet = self._decode(best.genome)
             triplets.append(triplet)
-            patterns = triplet.test_set(self.tpg)
+            patterns = triplet.packed_test_set(self.tpg)
             flags = self.simulator.detected(patterns, remaining)
             remaining = [f for f, hit in zip(remaining, flags) if not hit]
         trimmed = trim_solution(

@@ -1,7 +1,7 @@
 """Reseeding construction: triplets, the Initial Reseeding Builder and
 the Detection Matrix (paper Sections 2, 3 and 3.1)."""
 
-from repro.reseeding.triplet import Triplet, ReseedingSolution
+from repro.reseeding.triplet import Triplet, ReseedingSolution, packed_test_sets
 from repro.reseeding.detection_matrix import DetectionMatrix, build_detection_matrix
 from repro.reseeding.initial import InitialReseedingBuilder, InitialReseeding
 from repro.reseeding.trim import trim_solution, TrimmedSolution
@@ -20,6 +20,7 @@ __all__ = [
     "Triplet",
     "UniformSolution",
     "build_detection_matrix",
+    "packed_test_sets",
     "storage_comparison",
     "trim_solution",
     "uniformize_solution",

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
-from repro.reseeding.triplet import Triplet
+from repro.reseeding.triplet import EvolveBatch, Triplet, packed_test_sets
 from repro.sim.batch import BatchFaultSimulator, parallel_detection_rows
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
@@ -89,13 +89,20 @@ def build_detection_matrix(
     faults: list[Fault],
     simulator: BatchFaultSimulator | None = None,
     workers: int | None = None,
+    evolve: EvolveBatch | None = None,
 ) -> DetectionMatrix:
     """Fault-simulate every triplet's test set over ``faults``.
 
     This is the only simulation-heavy step of the set-covering approach —
     the paper's point that "the number of fault simulations is reduced
-    and limited to the construction of the Detection Matrix".  Rows are
-    streamed through :meth:`BatchFaultSimulator.detection_matrix_rows`,
+    and limited to the construction of the Detection Matrix".  The
+    candidate-seed bank is evolved in one word-parallel
+    :meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch` call per
+    shared length (:func:`~repro.reseeding.triplet.packed_test_sets`),
+    so the rows reach the simulator already packed — no per-pattern
+    Python loop, no re-packing (``evolve`` swaps in the session's
+    caching provider).  Rows are streamed through
+    :meth:`BatchFaultSimulator.detection_matrix_rows`,
     which packs them word-aligned into chunks — every row reuses the
     same cached cone-union schedules, and a whole chunk of rows shares
     one fault-free simulation and one ``detect_words`` per fault batch.
@@ -105,7 +112,7 @@ def build_detection_matrix(
     jobs carry only row ranges; the result is identical to the serial
     path.
     """
-    pattern_sets = [triplet.test_set(tpg) for triplet in triplets]
+    pattern_sets = packed_test_sets(tpg, triplets, evolve=evolve)
     if workers is not None and workers > 1:
         matrix = parallel_detection_rows(circuit, pattern_sets, faults, workers)
     else:

@@ -63,9 +63,15 @@ class InitialReseedingBuilder:
         faults: list[Fault],
         evolution_length: int = 64,
         workers: int | None = None,
+        evolve=None,
     ) -> InitialReseeding:
         """One candidate triplet per ATPG pattern, plus the matrix.
 
+        The whole candidate pool shares one evolution length, so the
+        matrix rows come from a single seed-axis
+        :meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch` bank
+        (``evolve`` swaps in a caching provider, see
+        :data:`~repro.reseeding.triplet.EvolveBatch`).
         ``workers=N`` opts in to row-parallel matrix construction.
         Raises if the resulting matrix does not cover every fault —
         that would violate the construction invariant (pattern 0 of each
@@ -85,6 +91,7 @@ class InitialReseedingBuilder:
             faults,
             simulator=self.simulator,
             workers=workers,
+            evolve=evolve,
         )
         missing = matrix.undetected_faults()
         if missing:
@@ -99,6 +106,7 @@ class InitialReseedingBuilder:
         atpg_result: AtpgResult,
         evolution_length: int = 64,
         workers: int | None = None,
+        evolve=None,
     ) -> InitialReseeding:
         """Convenience overload taking an :class:`AtpgResult` directly."""
         return self.build(
@@ -106,4 +114,5 @@ class InitialReseedingBuilder:
             atpg_result.target_faults,
             evolution_length,
             workers=workers,
+            evolve=evolve,
         )

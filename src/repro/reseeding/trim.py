@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
-from repro.reseeding.triplet import ReseedingSolution, Triplet
+from repro.reseeding.triplet import (
+    EvolveBatch,
+    ReseedingSolution,
+    Triplet,
+    packed_test_sets,
+)
 from repro.sim.batch import BatchFaultSimulator
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
@@ -50,10 +55,15 @@ def trim_solution(
     triplets: list[Triplet],
     faults: list[Fault],
     simulator: BatchFaultSimulator | None = None,
+    evolve: EvolveBatch | None = None,
 ) -> TrimmedSolution:
     """Trim each triplet to its last useful pattern, in sequence order.
 
-    Processing triplets in the given order with fault dropping: for each
+    The selected triplets' test sets are evolved up front as one
+    seed-axis :meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch`
+    bank per shared length (``evolve`` swaps in the session's caching
+    provider) and fed to the simulator in packed form.  Processing
+    triplets in the given order with fault dropping: for each
     triplet, find the first-detection index of every still-undetected
     fault; the triplet's trimmed length is ``1 + max`` of those indices
     (at least 1, since the seed pattern itself is always applied).
@@ -63,8 +73,8 @@ def trim_solution(
     remaining = list(faults)
     trimmed: list[Triplet] = []
     deltas: list[int] = []
-    for triplet in triplets:
-        patterns = triplet.test_set(tpg)
+    pattern_rows = packed_test_sets(tpg, triplets, evolve=evolve)
+    for triplet, patterns in zip(triplets, pattern_rows):
         if not remaining or not patterns:
             trimmed.append(triplet.with_length(min(1, triplet.length)))
             deltas.append(0)

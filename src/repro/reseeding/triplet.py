@@ -5,14 +5,32 @@ hence one test set ``TS_i`` (Section 2).  A reseeding solution is an
 ordered set of triplets applied sequentially; its global test length is
 the sum of the triplet lengths and its storage cost (the area-overhead
 proxy the paper minimises) is the triplet count.
+
+Evolution of *many* triplets goes through :func:`packed_test_sets`: it
+groups triplets by shared length into candidate-seed banks, evolves
+each bank with one word-parallel
+:meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch` call, and
+hands back per-triplet :class:`~repro.utils.bitvec.PackedPatterns`
+rows — the form every consumer (Detection Matrix construction,
+trimming, fault simulation) takes without re-packing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.tpg.base import TestPatternGenerator
-from repro.utils.bitvec import BitVector
+from repro.utils.bitvec import BitVector, PackedPatterns, concat_packed
+
+#: Signature of a batched-evolution provider: ``(tpg, deltas, sigmas,
+#: length) -> PackedPatterns``.  The default is ``tpg.evolve_batch``
+#: itself; :meth:`repro.flow.session.Session.packed_evolution` supplies
+#: an ArtifactCache-backed implementation with identical semantics.
+EvolveBatch = Callable[
+    [TestPatternGenerator, Sequence[BitVector], Sequence[BitVector], int],
+    PackedPatterns,
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +50,12 @@ class Triplet:
         """The patterns this triplet produces on ``tpg``."""
         return tpg.evolve(self.delta, self.sigma, self.length)
 
+    def packed_test_set(self, tpg: TestPatternGenerator) -> PackedPatterns:
+        """:meth:`test_set` in word-parallel packed form (a one-seed
+        bank through :meth:`~repro.tpg.base.TestPatternGenerator.
+        evolve_batch`)."""
+        return tpg.evolve_batch([self.delta], [self.sigma], self.length)
+
     def with_length(self, length: int) -> "Triplet":
         """The same seeding truncated/extended to ``length`` clocks."""
         return Triplet(self.delta, self.sigma, length)
@@ -47,6 +71,42 @@ class Triplet:
             f"(delta={self.delta.to_string()}, sigma={self.sigma.to_string()}, "
             f"T={self.length})"
         )
+
+
+def packed_test_sets(
+    tpg: TestPatternGenerator,
+    triplets: Sequence[Triplet],
+    evolve: EvolveBatch | None = None,
+) -> list[PackedPatterns]:
+    """Evolve many triplets as seed-axis banks; one packed row each.
+
+    Triplets sharing an evolution length form one bank and pay a single
+    :meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch` call (the
+    Initial Reseeding Builder's candidates all share the tuned T, so
+    the common case is exactly one call for the whole pool); rows come
+    back as bit-granular slices of the bank, in input order,
+    bit-identical to per-triplet ``test_set``.  ``evolve`` swaps in a
+    caching provider (see :data:`EvolveBatch`).
+    """
+    if evolve is None:
+
+        def evolve(generator, deltas, sigmas, length):
+            return generator.evolve_batch(deltas, sigmas, length)
+
+    rows: list[PackedPatterns | None] = [None] * len(triplets)
+    by_length: dict[int, list[int]] = {}
+    for index, triplet in enumerate(triplets):
+        by_length.setdefault(triplet.length, []).append(index)
+    for length, indices in sorted(by_length.items()):
+        bank = evolve(
+            tpg,
+            [triplets[i].delta for i in indices],
+            [triplets[i].sigma for i in indices],
+            length,
+        )
+        for position, index in enumerate(indices):
+            rows[index] = bank.slice(position * length, (position + 1) * length)
+    return rows  # type: ignore[return-value]  # every slot filled above
 
 
 @dataclass(frozen=True)
@@ -79,6 +139,20 @@ class ReseedingSolution:
         for triplet in self.triplets:
             out.extend(triplet.test_set(tpg))
         return out
+
+    def packed_patterns(
+        self, tpg: TestPatternGenerator, evolve: EvolveBatch | None = None
+    ) -> PackedPatterns:
+        """:meth:`patterns` in packed form: batch-evolved per length
+        group, concatenated in triplet order without unpacking —
+        what a BIST session feeds the simulator/MISR directly."""
+        if not self.triplets:
+            import numpy as np
+
+            return PackedPatterns(
+                np.zeros((tpg.width, 0), dtype=np.uint64), 0
+            )
+        return concat_packed(packed_test_sets(tpg, self.triplets, evolve))
 
     def __iter__(self):
         return iter(self.triplets)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.reseeding.triplet import ReseedingSolution, Triplet
+from repro.reseeding.triplet import EvolveBatch, ReseedingSolution, Triplet
 from repro.reseeding.trim import TrimmedSolution
 
 
@@ -36,6 +36,18 @@ class UniformSolution:
     def test_length(self) -> int:
         """Global test length: n_triplets * shared_length."""
         return self.n_triplets * self.shared_length
+
+    def packed_patterns(self, tpg, evolve: EvolveBatch | None = None):
+        """The whole uniform session's pattern sequence, packed.
+
+        Every triplet shares ``shared_length``, so the full sequence is
+        exactly **one** seed-axis
+        :meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch` bank —
+        the hardware-faithful view of a uniform-T BIST session (each
+        reseed runs the same number of clocks) with no per-triplet
+        Python loop at all.
+        """
+        return self.solution.packed_patterns(tpg, evolve=evolve)
 
     def storage_bits(self) -> int:
         """ROM bits: per-triplet (delta + sigma) plus ONE shared length

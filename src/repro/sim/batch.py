@@ -30,6 +30,13 @@ front and a shrinking batch *subsets* its existing compiled schedule
 instead of re-running the pure-Python cone-union/level-grouping
 construction for every survivor tuple.
 
+Every pattern argument is :data:`~repro.utils.bitvec.PatternsLike`: the
+word-parallel :class:`~repro.utils.bitvec.PackedPatterns` the batched
+TPG evolution (:meth:`repro.tpg.base.TestPatternGenerator.evolve_batch`)
+emits passes straight through ``as_packed`` with **no** re-packing, so
+generated sequences go TPG -> simulator without ever existing as Python
+int lists.
+
 :meth:`detection_matrix_rows` streams Detection Matrix rows (one row
 per pattern set) over a fixed fault batching.  Rows are processed in
 word-budgeted **chunks**: each chunk packs its rows word-aligned into
@@ -428,15 +435,18 @@ class BatchFaultSimulator:
                 row_of_segment.append(row_index)
                 offset += packed.n_words
         if offset and n_faults:
-            combined = PackedPatterns(
-                np.concatenate(
-                    [p.words for p in chunk if p.n_words], axis=1
-                ),
-                offset * 64,
-            )
-            mask = np.concatenate(
-                [p.tail_mask() for p in chunk if p.n_words]
-            )
+            pieces = [p for p in chunk if p.n_words]
+            if len(pieces) == 1:
+                # Pre-packed rows (TPG evolution banks arrive packed)
+                # pass through without a copy when they fill the chunk.
+                combined = PackedPatterns(pieces[0].words, offset * 64)
+                mask = pieces[0].tail_mask()
+            else:
+                combined = PackedPatterns(
+                    np.concatenate([p.words for p in pieces], axis=1),
+                    offset * 64,
+                )
+                mask = np.concatenate([p.tail_mask() for p in pieces])
             good = self._good_values(combined)
             segment_starts = np.array(starts, dtype=np.int64)
             column = 0

@@ -10,9 +10,20 @@ combines it with the (frozen) input register each clock:
 These model the "accumulator-based units including arithmetic functions
 such as adder, multiplier and subtracter, which are quite common in the
 actual SoCs" of Section 4.
+
+The batched walks (:meth:`~repro.tpg.base.TestPatternGenerator.
+evolve_batch`) are pure ``uint64`` numpy arithmetic: numpy integer
+overflow wraps modulo ``2^64``, and because ``2^width`` divides
+``2^64`` for every ``width <= 64``, masking the wrapped result to
+``width`` bits gives exactly the mod-``2^width`` walk of the scalar
+model.  The add/sub walks even have closed forms (``delta ± t*sigma``),
+so a whole ``(n_seeds, length)`` bank materialises in one broadcast
+expression with no per-clock loop at all.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.tpg.base import TestPatternGenerator
 from repro.utils.bitvec import BitVector
@@ -33,6 +44,14 @@ class AdderAccumulator(TestPatternGenerator):
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
         return state + sigma
 
+    def _evolve_batch_values(
+        self, deltas: np.ndarray, sigmas: np.ndarray, length: int
+    ) -> np.ndarray:
+        # Closed form: state_t = delta + t * sigma (mod 2^width).
+        steps = np.arange(length, dtype=np.uint64)
+        mask = np.uint64((1 << self.width) - 1)
+        return (deltas[:, None] + steps[None, :] * sigmas[:, None]) & mask
+
     def suggest_sigma(self, rng) -> BitVector:
         # An odd increment is coprime with 2^n: maximal period.
         return BitVector.random(self.width, rng).set_bit(0, 1)
@@ -47,6 +66,15 @@ class SubtracterAccumulator(TestPatternGenerator):
 
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
         return state - sigma
+
+    def _evolve_batch_values(
+        self, deltas: np.ndarray, sigmas: np.ndarray, length: int
+    ) -> np.ndarray:
+        # Closed form: state_t = delta - t * sigma (mod 2^width); uint64
+        # subtraction wraps, and the mask reduces mod 2^width.
+        steps = np.arange(length, dtype=np.uint64)
+        mask = np.uint64((1 << self.width) - 1)
+        return (deltas[:, None] - steps[None, :] * sigmas[:, None]) & mask
 
     def suggest_sigma(self, rng) -> BitVector:
         return BitVector.random(self.width, rng).set_bit(0, 1)
@@ -66,6 +94,19 @@ class MultiplierAccumulator(TestPatternGenerator):
 
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
         return state * sigma
+
+    def _evolve_batch_values(
+        self, deltas: np.ndarray, sigmas: np.ndarray, length: int
+    ) -> np.ndarray:
+        # Geometric walk: one bank-wide multiply per clock.
+        out = np.empty((deltas.shape[0], length), dtype=np.uint64)
+        mask = np.uint64((1 << self.width) - 1)
+        state = deltas.copy()
+        for clock in range(length):
+            out[:, clock] = state
+            if clock + 1 < length:
+                state = (state * sigmas) & mask
+        return out
 
     def suggest_sigma(self, rng) -> BitVector:
         sigma = BitVector.random(self.width, rng).set_bit(0, 1)

@@ -110,6 +110,23 @@ class NetlistTpg(TestPatternGenerator):
     def name(self) -> str:
         return f"netlist:{self.netlist.name}"
 
+    def cache_token(self) -> str:
+        # The netlist's *contents* define the sequences, so the cache
+        # identity must cover the gates, not just the circuit name —
+        # two same-named netlists may differ structurally.
+        import hashlib
+        import json
+
+        digest = hashlib.sha256(
+            json.dumps(
+                sorted(
+                    [gate.name, gate.gtype.name, list(gate.fanins)]
+                    for gate in self.netlist.gates.values()
+                )
+            ).encode()
+        ).hexdigest()[:16]
+        return f"{super().cache_token()}:netlist={digest}"
+
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
         self._check_vector("state", state)
         self._check_vector("sigma", sigma)

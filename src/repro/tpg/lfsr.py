@@ -6,9 +6,20 @@ The multi-polynomial variant stores a small bank of feedback polynomials
 and lets each seed pick its polynomial through the input register — in
 our triplet terms, ``sigma`` selects the polynomial and ``delta`` is the
 seed, so the set-covering reseeding machinery applies unchanged.
+
+Feedback polynomials are carried as :class:`TapSet` objects: the tap
+indices plus the precomputed word mask both stepping paths share — the
+scalar :meth:`~repro.tpg.base.TestPatternGenerator.next_state` XORs tap
+bits one by one, the vectorized bank walk
+(:func:`_lfsr_walk_values`) computes the same feedback for a whole seed
+bank as ``parity(state & mask)`` with a logarithmic XOR fold.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.tpg.base import TestPatternGenerator
 from repro.utils.bitvec import BitVector
@@ -46,24 +57,70 @@ _PRIMITIVE_TAPS: dict[int, tuple[int, ...]] = {
 }
 
 
-def taps_for_width(width: int, variant: int = 0) -> tuple[int, ...]:
-    """A feedback tap set for ``width``-bit LFSRs.
+@dataclass(frozen=True)
+class TapSet:
+    """A compiled feedback polynomial: tap indices plus the word mask.
 
-    ``variant`` perturbs the base taps to build polynomial banks; variant
-    0 is the table entry (primitive where known).
+    ``fallback`` records provenance: ``True`` when the base polynomial
+    was synthesised by the dense fallback shape (width absent from the
+    primitive table), so callers can tell a maximal-period table entry
+    from a may-be-shorter-period synthetic one.  ``mask_int`` is the
+    OR of ``1 << tap`` — the vectorized walk computes the feedback bit
+    of a whole seed bank as ``parity(state & mask)`` in a handful of
+    numpy ops instead of one Python ``state.bit(tap)`` per tap.
     """
-    base = _PRIMITIVE_TAPS.get(width)
-    if base is None:
-        # Fallback: x^n + x^(n/2) + 1 -like shape (deduped for tiny widths).
-        base = tuple(sorted({width - 1, max(0, width // 2 - 1)}, reverse=True))
-    if variant == 0:
-        return base
-    # Add one extra tap pair, wrapping inside the register.
-    extra = (variant * 2 - 1) % max(1, width - 1)
-    taps = set(base) ^ {extra, (extra + 1) % width}
-    if not taps:
-        taps = set(base)
-    return tuple(sorted(taps, reverse=True))
+
+    taps: tuple[int, ...]
+    width: int
+    fallback: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.taps or any(not 0 <= t < self.width for t in self.taps):
+            raise ValueError(
+                f"invalid tap set {self.taps} for width {self.width}"
+            )
+        if len(set(self.taps)) != len(self.taps):
+            raise ValueError(f"duplicate taps in {self.taps}")
+        # Not a dataclass field: derived, excluded from eq/repr.
+        object.__setattr__(
+            self, "mask_int", sum(1 << tap for tap in self.taps)
+        )
+
+    @classmethod
+    def for_width(cls, width: int, variant: int = 0) -> "TapSet":
+        """The tap set :func:`taps_for_width` would return, compiled.
+
+        ``variant`` perturbs the base taps to build polynomial banks;
+        variant 0 is the table entry (primitive where known).  Widths
+        absent from the table take the synthesised fallback polynomial
+        (``fallback=True``).
+        """
+        base = _PRIMITIVE_TAPS.get(width)
+        fallback = base is None
+        if base is None:
+            # Fallback: x^n + x^(n/2) + 1 -like shape (deduped for tiny
+            # widths).
+            base = tuple(
+                sorted({width - 1, max(0, width // 2 - 1)}, reverse=True)
+            )
+        if variant == 0:
+            return cls(base, width, fallback)
+        # Add one extra tap pair, wrapping inside the register.
+        extra = (variant * 2 - 1) % max(1, width - 1)
+        taps = set(base) ^ {extra, (extra + 1) % width}
+        if not taps:
+            taps = set(base)
+        return cls(tuple(sorted(taps, reverse=True)), width, fallback)
+
+    def feedback(self, value: int) -> int:
+        """The feedback bit for one scalar state value."""
+        return (value & self.mask_int).bit_count() & 1
+
+
+def taps_for_width(width: int, variant: int = 0) -> tuple[int, ...]:
+    """A feedback tap set for ``width``-bit LFSRs (tap indices only;
+    :meth:`TapSet.for_width` returns the compiled form)."""
+    return TapSet.for_width(width, variant).taps
 
 
 def default_polynomials(width: int, count: int = 4) -> list[tuple[int, ...]]:
@@ -80,6 +137,37 @@ def default_polynomials(width: int, count: int = 4) -> list[tuple[int, ...]]:
     return bank
 
 
+def _parity_words(words: np.ndarray) -> np.ndarray:
+    """Per-element parity (0/1) of a ``uint64`` array, via XOR folding."""
+    for shift in (32, 16, 8, 4, 2, 1):
+        words = words ^ (words >> np.uint64(shift))
+    return words & np.uint64(1)
+
+
+def _lfsr_walk_values(
+    deltas: np.ndarray, masks: np.ndarray | np.uint64, width: int, length: int
+) -> np.ndarray:
+    """The vectorized bank walk both LFSR classes share.
+
+    ``masks`` is either one scalar tap mask (plain LFSR) or a per-seed
+    mask array (multi-polynomial: each seed already resolved its
+    polynomial).  Every clock is ~10 numpy ops over the whole bank:
+    masked-parity feedback, shift, mask to width.
+    """
+    n_seeds = int(deltas.shape[0])
+    out = np.empty((n_seeds, length), dtype=np.uint64)
+    width_mask = np.uint64((1 << width) - 1)
+    one = np.uint64(1)
+    state = deltas.copy()
+    for clock in range(length):
+        out[:, clock] = state
+        if clock + 1 == length:
+            break
+        feedback = _parity_words(state & masks)
+        state = ((state << one) | feedback) & width_mask
+    return out
+
+
 class Lfsr(TestPatternGenerator):
     """A Fibonacci LFSR with a fixed feedback polynomial.
 
@@ -90,20 +178,30 @@ class Lfsr(TestPatternGenerator):
 
     def __init__(self, width: int, taps: tuple[int, ...] | None = None) -> None:
         super().__init__(width)
-        self.taps = tuple(taps) if taps is not None else taps_for_width(width)
-        if not self.taps or any(not 0 <= t < width for t in self.taps):
-            raise ValueError(f"invalid tap set {self.taps} for width {width}")
+        self.tapset = (
+            TapSet(tuple(taps), width)
+            if taps is not None
+            else TapSet.for_width(width)
+        )
+        self.taps = self.tapset.taps
 
     @property
     def name(self) -> str:
         return "lfsr"
 
+    def cache_token(self) -> str:
+        return f"{super().cache_token()}:taps={self.taps}"
+
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
-        feedback = 0
-        for tap in self.taps:
-            feedback ^= state.bit(tap)
-        shifted = (state.value << 1) | feedback
+        shifted = (state.value << 1) | self.tapset.feedback(state.value)
         return BitVector(shifted, self.width)
+
+    def _evolve_batch_values(
+        self, deltas: np.ndarray, sigmas: np.ndarray, length: int
+    ) -> np.ndarray:
+        return _lfsr_walk_values(
+            deltas, np.uint64(self.tapset.mask_int), self.width, length
+        )
 
     def suggest_sigma(self, rng) -> BitVector:
         return BitVector.zeros(self.width)  # unused by the update
@@ -121,31 +219,44 @@ class MultiPolynomialLfsr(TestPatternGenerator):
         self, width: int, polynomials: list[tuple[int, ...]] | None = None
     ) -> None:
         super().__init__(width)
-        self.polynomials = (
-            [tuple(p) for p in polynomials]
-            if polynomials is not None
-            else default_polynomials(width)
-        )
-        if not self.polynomials:
+        if polynomials is not None:
+            self.tapsets = [TapSet(tuple(p), width) for p in polynomials]
+        else:
+            self.tapsets = [
+                TapSet(taps, width) for taps in default_polynomials(width)
+            ]
+        if not self.tapsets:
             raise ValueError("polynomial bank must be non-empty")
-        for taps in self.polynomials:
-            if not taps or any(not 0 <= t < width for t in taps):
-                raise ValueError(f"invalid tap set {taps} for width {width}")
+        self.polynomials = [tapset.taps for tapset in self.tapsets]
 
     @property
     def name(self) -> str:
         return "mp-lfsr"
 
+    def cache_token(self) -> str:
+        return f"{super().cache_token()}:polys={self.polynomials}"
+
     def polynomial_for(self, sigma: BitVector) -> tuple[int, ...]:
         """The tap set ``sigma`` selects."""
-        return self.polynomials[sigma.value % len(self.polynomials)]
+        return self.tapset_for(sigma).taps
+
+    def tapset_for(self, sigma: BitVector) -> TapSet:
+        """The compiled :class:`TapSet` ``sigma`` selects."""
+        return self.tapsets[sigma.value % len(self.tapsets)]
 
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
-        feedback = 0
-        for tap in self.polynomial_for(sigma):
-            feedback ^= state.bit(tap)
-        shifted = (state.value << 1) | feedback
+        tapset = self.tapset_for(sigma)
+        shifted = (state.value << 1) | tapset.feedback(state.value)
         return BitVector(shifted, self.width)
 
+    def _evolve_batch_values(
+        self, deltas: np.ndarray, sigmas: np.ndarray, length: int
+    ) -> np.ndarray:
+        bank = np.array(
+            [tapset.mask_int for tapset in self.tapsets], dtype=np.uint64
+        )
+        selected = (sigmas % np.uint64(len(self.tapsets))).astype(np.int64)
+        return _lfsr_walk_values(deltas, bank[selected], self.width, length)
+
     def suggest_sigma(self, rng) -> BitVector:
-        return BitVector(rng.randrange(len(self.polynomials)), self.width)
+        return BitVector(rng.randrange(len(self.tapsets)), self.width)

@@ -14,7 +14,15 @@ patterns at once.  This module provides
   differential suite), and
 * :class:`PackedPatterns` — a pattern sequence carried in packed form,
   so pattern sets are packed once per session instead of once per
-  simulator call.
+  simulator call,
+* :func:`pack_values` / :meth:`PackedPatterns.from_values` — the
+  value-array fast path the batched TPG evolution uses (pattern values
+  as a ``uint64`` numpy array straight to the packed layout, no
+  :class:`BitVector` round trip), and
+* :func:`concat_packed` — in-layout concatenation of packed sequences
+  (vectorized funnel shifts, no unpack/repack).
+
+The layout invariants are documented in ``docs/internals-bitpacking.md``.
 """
 
 from __future__ import annotations
@@ -255,6 +263,51 @@ def unpack_words_scalar(words: np.ndarray, n_patterns: int) -> list[BitVector]:
     return patterns
 
 
+def pack_values(values: np.ndarray, width: int) -> np.ndarray:
+    """Pack a ``uint64`` value-per-pattern array into word-parallel rows.
+
+    The fast path behind :meth:`PackedPatterns.from_values`: batched TPG
+    evolution produces pattern *values* as a numpy array, and this
+    converts them straight to the ``(width, n_words)`` layout of
+    :func:`pack_patterns` without materialising ``BitVector`` objects.
+    Bit-identical to ``pack_patterns(ints_to_bitvectors(values, width),
+    width)`` for every ``width <= 64`` (the ``uint64`` carrier limit;
+    wider banks must go through :func:`pack_patterns`).
+
+    Values wider than ``width`` are rejected — the same contract as the
+    per-pattern width check of :func:`pack_patterns`.
+    """
+    if not 1 <= width <= WORD_BITS:
+        raise ValueError(f"pack_values supports widths 1..64, got {width}")
+    values = np.ascontiguousarray(values, dtype=np.uint64).reshape(-1)
+    n_patterns = int(values.size)
+    if n_patterns == 0:
+        return np.zeros((width, 0), dtype=np.uint64)
+    if width < WORD_BITS and bool(
+        (values >> np.uint64(width)).any()
+    ):
+        bad = int(np.flatnonzero(values >> np.uint64(width))[0])
+        raise ValueError(
+            f"pattern {bad} value {int(values[bad])} does not fit width {width}"
+        )
+    n_words = (n_patterns + WORD_BITS - 1) // WORD_BITS
+    # (n_patterns, 64) bit matrix, LSB first — mirrors pack_patterns'
+    # little-endian byte serialisation.
+    bits = np.unpackbits(
+        values.astype(np.dtype("<u8"), copy=False).view(np.uint8).reshape(n_patterns, 8),
+        axis=1,
+        bitorder="little",
+    )[:, :width]
+    padded = np.zeros((n_words * WORD_BITS, width), dtype=np.uint8)
+    padded[:n_patterns] = bits
+    packed = np.packbits(padded, axis=0, bitorder="little")
+    return (
+        np.ascontiguousarray(packed.T)
+        .view(np.dtype("<u8"))
+        .astype(np.uint64, copy=False)
+    )
+
+
 def pack_patterns(patterns: Sequence[BitVector], width: int) -> np.ndarray:
     """Pack per-pattern bit vectors into word-parallel node words.
 
@@ -363,6 +416,17 @@ class PackedPatterns:
         """Pack ``patterns`` once (validating widths against ``width``)."""
         return cls(pack_patterns(list(patterns), width), len(patterns))
 
+    @classmethod
+    def from_values(cls, values: np.ndarray, width: int) -> "PackedPatterns":
+        """Pack a ``uint64`` value array (one value per pattern) without
+        round-tripping through :class:`BitVector` objects — the carrier
+        the batched TPG evolution (:meth:`repro.tpg.base.
+        TestPatternGenerator.evolve_batch`) hands to the simulators.
+        Bit-identical to :meth:`from_patterns` on the same integers;
+        ``width`` must be <= 64 (the ``uint64`` value limit)."""
+        values = np.ascontiguousarray(values, dtype=np.uint64).reshape(-1)
+        return cls(pack_values(values, width), int(values.size))
+
     @property
     def n_words(self) -> int:
         """Number of 64-pattern words per input row."""
@@ -421,6 +485,50 @@ class PackedPatterns:
         return (
             f"PackedPatterns(n_patterns={self.n_patterns}, width={self.width})"
         )
+
+
+def concat_packed(pieces: Sequence[PackedPatterns]) -> PackedPatterns:
+    """Concatenate packed pattern sequences without unpacking.
+
+    The result holds the patterns of every piece in order — exactly
+    ``PackedPatterns.from_patterns(p0 + p1 + ..., width)`` — assembled
+    with vectorized word shifts.  Pieces whose pattern count is not a
+    word multiple land at unaligned bit offsets; their words are OR-ed
+    in as a shifted low/high pair, the same funnel-shift technique as
+    :meth:`PackedPatterns.slice`.  Tail bits beyond each piece's
+    ``n_patterns`` are masked off first, so slices of larger banks (the
+    per-seed rows :func:`repro.reseeding.triplet.packed_test_sets`
+    yields) concatenate safely.
+    """
+    pieces = list(pieces)
+    if not pieces:
+        raise ValueError("concat_packed needs at least one piece")
+    width = pieces[0].width
+    for piece in pieces:
+        if piece.width != width:
+            raise ValueError(
+                f"width mismatch in concat_packed: {piece.width} vs {width}"
+            )
+    pieces = [piece for piece in pieces if piece.n_patterns]
+    if not pieces:
+        return PackedPatterns(np.zeros((width, 0), dtype=np.uint64), 0)
+    total = sum(piece.n_patterns for piece in pieces)
+    out = np.zeros((width, n_words_for(total)), dtype=np.uint64)
+    offset = 0
+    for piece in pieces:
+        needed = n_words_for(piece.n_patterns)
+        words = piece.words[:, :needed] & tail_mask(piece.n_patterns)
+        word_start, bit_start = divmod(offset, WORD_BITS)
+        if bit_start == 0:
+            out[:, word_start : word_start + needed] |= words
+        else:
+            shift = np.uint64(bit_start)
+            out[:, word_start : word_start + needed] |= words << shift
+            spill = words >> np.uint64(WORD_BITS - bit_start)
+            hi = out[:, word_start + 1 : word_start + 1 + needed]
+            hi |= spill[:, : hi.shape[1]]
+        offset += piece.n_patterns
+    return PackedPatterns(out, total)
 
 
 #: What simulator pattern arguments accept: an unpacked sequence or the

@@ -1,0 +1,110 @@
+"""Documentation guard rails: examples run, links resolve, docstrings
+execute.
+
+Three rot vectors, one test module:
+
+* every ``examples/*.py`` is smoke-run end to end (reduced circuit
+  scales keep the whole sweep a few seconds) — a README/docs snippet
+  that imports a renamed symbol or drives a changed API fails here;
+* the markdown link checker (``tools/check_links.py``) verifies every
+  local link and anchor in ``README.md`` and ``docs/`` — the same check
+  CI's docs job runs;
+* ``python -m doctest`` executes the ``>>>`` docstring examples, so the
+  documented behaviour is the actual behaviour.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = REPO_ROOT / "examples"
+
+#: Reduced-scale arguments per example: small enough for the test
+#: suite, but every example still exercises its full code path.
+EXAMPLE_ARGS: dict[str, list[str]] = {
+    "quickstart.py": [],
+    "lfsr_reseeding.py": ["--circuit", "s420", "--scale", "0.15"],
+    "custom_tpg.py": ["--circuit", "s420", "--scale", "0.15"],
+    "full_bist_session.py": ["--circuit", "s420", "--scale", "0.15"],
+    "soc_accumulator_bist.py": ["--scale", "0.1", "--evolution-length", "16"],
+    "tradeoff_exploration.py": ["--circuit", "s420", "--scale", "0.15"],
+    "diagnose_bist_failure.py": ["--circuit", "c499", "--patterns", "64"],
+}
+
+#: Modules whose docstrings carry executable ``>>>`` examples — keep in
+#: sync with the CI docs job's doctest step.
+DOCTEST_MODULES = [
+    "src/repro/utils/bitvec.py",
+    "src/repro/tpg/base.py",
+]
+
+
+def _run(command: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        command,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_every_example_has_smoke_args():
+    """A new example must register reduced-scale args here (and a row
+    in the README's documentation table)."""
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXAMPLE_ARGS)
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLE_ARGS))
+def test_example_runs(name):
+    result = _run(
+        [sys.executable, str(EXAMPLES / name), *EXAMPLE_ARGS[name]]
+    )
+    assert result.returncode == 0, (
+        f"{name} failed\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} printed nothing"
+
+
+def test_markdown_links_resolve():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    check_links = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_links)
+    errors = check_links.check_paths(
+        [str(REPO_ROOT / "README.md"), str(REPO_ROOT / "docs")]
+    )
+    assert not errors, "\n".join(errors)
+
+
+def test_docs_tree_complete():
+    """The docs/ tree the README table of contents promises."""
+    for name in ("architecture.md", "internals-bitpacking.md", "benchmarks.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), name
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("architecture.md", "internals-bitpacking.md", "benchmarks.md"):
+        assert f"docs/{name}" in readme, f"README TOC missing docs/{name}"
+    for example in EXAMPLE_ARGS:
+        assert f"examples/{example}" in readme, (
+            f"README TOC missing examples/{example}"
+        )
+
+
+def test_doctests_pass():
+    result = _run([sys.executable, "-m", "doctest", *DOCTEST_MODULES])
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -309,3 +309,77 @@ class TestSessionPackedPatterns:
         # List and packed arguments hash to the same cache key, so the
         # second build was a warm hit.
         assert session.cache.hits_for("fault_dictionary") == 1
+
+
+class TestPackedEvolutionCache:
+    """Session.packed_evolution: memory -> ArtifactCache -> compute."""
+
+    def _bank(self, c17, n=6):
+        from repro.tpg import make_tpg
+        from repro.utils.bitvec import BitVector
+        from repro.utils.rng import RngStream
+
+        tpg = make_tpg("adder", c17.n_inputs)
+        rng = RngStream(11, "evolution-cache")
+        deltas = [BitVector.random(c17.n_inputs, rng) for _ in range(n)]
+        sigmas = [tpg.suggest_sigma(rng) for _ in range(n)]
+        return tpg, deltas, sigmas
+
+    def test_identical_to_direct_evolution(self, c17, tmp_path):
+        import numpy as np
+
+        session = Session(c17, config=CONFIG, cache=ArtifactCache(tmp_path))
+        tpg, deltas, sigmas = self._bank(c17)
+        packed = session.packed_evolution(tpg, deltas, sigmas, 16)
+        np.testing.assert_array_equal(
+            packed.words, tpg.evolve_batch(deltas, sigmas, 16).words
+        )
+        # Second call in the same session is served from memory.
+        assert session.packed_evolution(tpg, deltas, sigmas, 16) is packed
+
+    def test_warm_process_loads_from_disk(self, c17, tmp_path):
+        import numpy as np
+
+        tpg, deltas, sigmas = self._bank(c17)
+        cold = Session(c17, config=CONFIG, cache=ArtifactCache(tmp_path))
+        packed = cold.packed_evolution(tpg, deltas, sigmas, 16)
+        warm = Session(c17, config=CONFIG, cache=ArtifactCache(tmp_path))
+        reloaded = warm.packed_evolution(tpg, deltas, sigmas, 16)
+        assert warm.cache.hits_for("packed_evolution") == 1
+        np.testing.assert_array_equal(reloaded.words, packed.words)
+        assert reloaded.n_patterns == packed.n_patterns
+
+    def test_key_varies_with_bank_length_and_tpg(self, c17):
+        session = Session(c17, config=CONFIG)
+        tpg, deltas, sigmas = self._bank(c17)
+        base = session._evolution_key(tpg, deltas, sigmas, 16)
+        assert session._evolution_key(tpg, deltas, sigmas, 17) != base
+        assert session._evolution_key(tpg, deltas[:-1], sigmas[:-1], 16) != base
+        from repro.tpg import make_tpg
+
+        other = make_tpg("multiplier", c17.n_inputs)
+        assert session._evolution_key(other, deltas, sigmas, 16) != base
+
+    def test_session_run_populates_evolution_memo(self, c17):
+        """A flow run through the session routes Matrix/Trim evolution
+        through packed_evolution (the StageContext wiring)."""
+        session = Session(c17, config=CONFIG)
+        session.run("adder")
+        assert session._evolutions  # matrix + trim banks memoized
+
+    def test_uniform_solution_packed_patterns(self, c17, baseline):
+        import numpy as np
+
+        from repro.reseeding.uniform import uniformize_solution
+        from repro.tpg import make_tpg
+
+        tpg = make_tpg("adder", c17.n_inputs)
+        uniform = uniformize_solution(baseline.trimmed)
+        packed = uniform.packed_patterns(tpg)
+        expected = uniform.solution.patterns(tpg)
+        assert packed.unpack() == expected
+        assert packed.n_patterns == uniform.test_length
+        # The session provider slots in as the evolve hook.
+        session = Session(c17, config=CONFIG)
+        via_session = uniform.packed_patterns(tpg, evolve=session.packed_evolution)
+        np.testing.assert_array_equal(via_session.words, packed.words)

@@ -1,0 +1,349 @@
+"""Differential tests for word-parallel TPG evolution.
+
+``evolve_batch`` must be bit-identical to the scalar ``evolve`` loop for
+every registered generator at every width — the vectorized uint64 walks
+(widths <= 64) and the scalar fallback (wider banks, custom TPGs without
+a vectorized override) are exercised against the same oracle, including
+the word-boundary widths the satellite audit calls out (1, 63, 64, 65)
+and the ``TapSet`` fallback-polynomial path for widths absent from the
+primitive table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reseeding.triplet import ReseedingSolution, Triplet, packed_test_sets
+from repro.tpg import make_tpg, tpg_names
+from repro.tpg.base import TestPatternGenerator
+from repro.tpg.lfsr import _PRIMITIVE_TAPS, Lfsr, MultiPolynomialLfsr, TapSet
+from repro.utils.bitvec import (
+    BitVector,
+    PackedPatterns,
+    concat_packed,
+    ints_to_bitvectors,
+    pack_patterns,
+    pack_values,
+)
+from repro.utils.rng import RngStream
+
+#: Word-boundary widths plus one table width, one fallback width and one
+#: beyond-uint64 width (scalar-fallback path).
+EDGE_WIDTHS = (1, 21, 63, 64, 65, 130)
+
+
+def _bank(tpg: TestPatternGenerator, n_seeds: int, seed: int = 5):
+    rng = RngStream(seed, "tpg-batch", tpg.name, str(tpg.width))
+    deltas = [BitVector.random(tpg.width, rng) for _ in range(n_seeds)]
+    sigmas = [tpg.suggest_sigma(rng) for _ in range(n_seeds)]
+    return deltas, sigmas
+
+
+@st.composite
+def evolution_banks(draw):
+    """(tpg, deltas, sigmas, length) across all generators and widths."""
+    name = draw(st.sampled_from(tpg_names()))
+    width = draw(st.integers(min_value=1, max_value=130))
+    n_seeds = draw(st.integers(min_value=0, max_value=6))
+    length = draw(st.integers(min_value=0, max_value=70))
+    rnd = draw(st.randoms(use_true_random=False))
+    tpg = make_tpg(name, width)
+    deltas = [BitVector(rnd.getrandbits(width), width) for _ in range(n_seeds)]
+    sigmas = [BitVector(rnd.getrandbits(width), width) for _ in range(n_seeds)]
+    return tpg, deltas, sigmas, length
+
+
+class TestBatchScalarDifferential:
+    """evolve_batch == the scalar loop, bit for bit, for every TPG."""
+
+    @given(evolution_banks())
+    def test_batch_matches_scalar(self, bank):
+        tpg, deltas, sigmas, length = bank
+        batched = tpg.evolve_batch(deltas, sigmas, length)
+        reference = tpg.evolve_batch_scalar(deltas, sigmas, length)
+        assert batched.n_patterns == reference.n_patterns == len(deltas) * length
+        assert batched.width == reference.width == tpg.width
+        np.testing.assert_array_equal(batched.words, reference.words)
+
+    @pytest.mark.parametrize("name", sorted(tpg_names()))
+    @pytest.mark.parametrize("width", EDGE_WIDTHS)
+    def test_word_boundary_widths(self, name, width):
+        """Widths 1 / 63 / 64 / 65 straddle the uint64 carrier; 21 hits
+        the LFSR fallback polynomial; 130 forces the scalar fallback."""
+        tpg = make_tpg(name, width)
+        deltas, sigmas = _bank(tpg, 4)
+        batched = tpg.evolve_batch(deltas, sigmas, 37)
+        np.testing.assert_array_equal(
+            batched.words, tpg.evolve_batch_scalar(deltas, sigmas, 37).words
+        )
+        # Per-seed rows slice back out equal to the per-triplet loop.
+        for index, (delta, sigma) in enumerate(zip(deltas, sigmas)):
+            row = batched.slice(index * 37, (index + 1) * 37)
+            assert row.unpack() == tpg.evolve(delta, sigma, 37)
+
+    @pytest.mark.parametrize("name", sorted(tpg_names()))
+    def test_first_pattern_is_delta(self, name):
+        """The paper's tau='0' property survives batching."""
+        tpg = make_tpg(name, 8)
+        deltas, sigmas = _bank(tpg, 5)
+        batched = tpg.evolve_batch(deltas, sigmas, 6)
+        for index, delta in enumerate(deltas):
+            assert batched.slice(index * 6, index * 6 + 1).unpack() == [delta]
+
+    def test_empty_bank_and_zero_length(self):
+        tpg = make_tpg("adder", 8)
+        assert len(tpg.evolve_batch([], [], 5)) == 0
+        deltas, sigmas = _bank(tpg, 3)
+        assert len(tpg.evolve_batch(deltas, sigmas, 0)) == 0
+
+    def test_validation(self):
+        tpg = make_tpg("adder", 8)
+        deltas, sigmas = _bank(tpg, 2)
+        with pytest.raises(ValueError, match="differ in length"):
+            tpg.evolve_batch(deltas, sigmas[:1], 4)
+        with pytest.raises(ValueError, match="width"):
+            tpg.evolve_batch([BitVector(0, 9), deltas[1]], sigmas, 4)
+        with pytest.raises(ValueError, match="width"):
+            tpg.evolve_batch(deltas, [sigmas[0], BitVector(0, 7)], 4)
+        with pytest.raises(ValueError, match=">= 0"):
+            tpg.evolve_batch(deltas, sigmas, -1)
+
+    def test_custom_tpg_without_override_uses_fallback(self):
+        """A custom generator gets a correct evolve_batch for free."""
+
+        class Gray(TestPatternGenerator):
+            def next_state(self, state, sigma):
+                return state ^ BitVector(state.value >> 1, self.width) ^ sigma
+
+        tpg = Gray(11)
+        deltas, sigmas = _bank(tpg, 3)
+        batched = tpg.evolve_batch(deltas, sigmas, 20)
+        np.testing.assert_array_equal(
+            batched.words, tpg.evolve_batch_scalar(deltas, sigmas, 20).words
+        )
+
+
+class TestLfsrBatch:
+    def test_mp_lfsr_sigma_selects_polynomial_in_batch(self):
+        """Each seed of the bank walks its own polynomial."""
+        tpg = MultiPolynomialLfsr(8)
+        delta = BitVector(0b10110101, 8)
+        n = len(tpg.polynomials)
+        bank = tpg.evolve_batch(
+            [delta] * n, [BitVector(k, 8) for k in range(n)], 12
+        )
+        runs = {
+            tuple(p.value for p in bank.slice(k * 12, (k + 1) * 12).unpack())
+            for k in range(n)
+        }
+        assert len(runs) > 1  # distinct polynomials, distinct sequences
+        for k in range(n):
+            assert bank.slice(k * 12, (k + 1) * 12).unpack() == tpg.evolve(
+                delta, BitVector(k, 8), 12
+            )
+
+    def test_custom_taps_cache_token_distinct(self):
+        """Two LFSRs differing only in taps must never share cached
+        evolutions (the Session keys on cache_token)."""
+        a, b = Lfsr(8), Lfsr(8, taps=(7, 3))
+        assert a.cache_token() != b.cache_token()
+        assert MultiPolynomialLfsr(8).cache_token() != a.cache_token()
+
+
+class TestTapSet:
+    def test_table_widths_not_fallback(self):
+        for width in (4, 8, 16, 64):
+            tapset = TapSet.for_width(width)
+            assert not tapset.fallback
+            assert tapset.taps == _PRIMITIVE_TAPS[width]
+
+    @pytest.mark.parametrize("width", [1, 21, 33, 130])
+    def test_fallback_widths_synthesised(self, width):
+        """Widths outside the primitive table take the dense fallback
+        shape: valid, deduplicated taps flagged as fallback."""
+        tapset = TapSet.for_width(width)
+        assert tapset.fallback
+        assert tapset.taps
+        assert all(0 <= t < width for t in tapset.taps)
+        assert len(set(tapset.taps)) == len(tapset.taps)
+
+    def test_fallback_lfsr_batch_matches_scalar(self):
+        """The fallback-polynomial path through the vectorized walk."""
+        tpg = Lfsr(21)
+        assert tpg.tapset.fallback
+        deltas, sigmas = _bank(tpg, 6)
+        np.testing.assert_array_equal(
+            tpg.evolve_batch(deltas, sigmas, 50).words,
+            tpg.evolve_batch_scalar(deltas, sigmas, 50).words,
+        )
+
+    def test_mask_matches_taps(self):
+        tapset = TapSet.for_width(8)
+        assert tapset.mask_int == sum(1 << t for t in tapset.taps)
+        assert tapset.feedback(0b10101000) == (
+            sum((0b10101000 >> t) & 1 for t in tapset.taps) & 1
+        )
+
+    def test_variants_distinct(self):
+        assert TapSet.for_width(8, 1).taps != TapSet.for_width(8).taps
+
+    def test_invalid_taps_rejected(self):
+        with pytest.raises(ValueError):
+            TapSet((9,), 4)
+        with pytest.raises(ValueError):
+            TapSet((), 4)
+        with pytest.raises(ValueError):
+            TapSet((2, 2), 4)
+
+
+class TestPackValues:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=140),
+    )
+    def test_matches_pack_patterns(self, width, raw):
+        values = [v & ((1 << width) - 1) for v in raw]
+        fast = pack_values(np.array(values, dtype=np.uint64), width)
+        reference = pack_patterns(ints_to_bitvectors(values, width), width)
+        assert fast.dtype == np.uint64
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_rejects_wide_widths_and_values(self):
+        with pytest.raises(ValueError, match="widths 1..64"):
+            pack_values(np.zeros(1, dtype=np.uint64), 65)
+        with pytest.raises(ValueError, match="does not fit"):
+            pack_values(np.array([4], dtype=np.uint64), 2)
+
+    def test_from_values_roundtrip(self):
+        values = np.arange(70, dtype=np.uint64)
+        packed = PackedPatterns.from_values(values, 7)
+        assert packed.unpack() == ints_to_bitvectors(range(70), 7)
+
+
+class TestConcatPacked:
+    def _pieces(self, counts, width=9):
+        pieces, flat, base = [], [], 0
+        for count in counts:
+            patterns = [
+                BitVector((base + i) * 0x9E37 & ((1 << width) - 1), width)
+                for i in range(count)
+            ]
+            base += count
+            flat.extend(patterns)
+            pieces.append(PackedPatterns.from_patterns(patterns, width))
+        return pieces, flat
+
+    @pytest.mark.parametrize(
+        "counts", [[1], [64], [3, 5], [63, 1, 64], [65, 33, 7], [0, 5, 0]]
+    )
+    def test_matches_flat_pack(self, counts):
+        pieces, flat = self._pieces(counts)
+        combined = concat_packed(pieces)
+        reference = PackedPatterns.from_patterns(flat, 9)
+        assert combined.n_patterns == len(flat)
+        np.testing.assert_array_equal(combined.words, reference.words)
+
+    def test_unaligned_slices_concat_safely(self):
+        """Slices of a bank carry stray neighbour bits past n_patterns;
+        concat must mask them off."""
+        tpg = make_tpg("adder", 6)
+        deltas, sigmas = _bank(tpg, 4)
+        bank = tpg.evolve_batch(deltas, sigmas, 33)
+        rows = [bank.slice(i * 33, (i + 1) * 33) for i in range(4)]
+        np.testing.assert_array_equal(
+            concat_packed(rows).words, bank.words
+        )
+
+    def test_width_mismatch_and_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            concat_packed([])
+        a = PackedPatterns.from_patterns([BitVector(1, 3)], 3)
+        b = PackedPatterns.from_patterns([BitVector(1, 4)], 4)
+        with pytest.raises(ValueError, match="width mismatch"):
+            concat_packed([a, b])
+        empty = concat_packed([a.slice(0, 0)])
+        assert len(empty) == 0 and empty.width == 3
+
+
+class TestPackedTestSets:
+    def test_mixed_lengths_match_scalar(self):
+        tpg = make_tpg("multiplier", 10)
+        rng = RngStream(3, "pts")
+        triplets = [
+            Triplet(
+                BitVector.random(10, rng), tpg.suggest_sigma(rng), length
+            )
+            for length in (5, 12, 5, 0, 64, 12)
+        ]
+        rows = packed_test_sets(tpg, triplets)
+        assert len(rows) == len(triplets)
+        for triplet, row in zip(triplets, rows):
+            assert row.unpack() == triplet.test_set(tpg)
+
+    def test_shared_length_single_bank_call(self):
+        """The common case (all candidates share T) pays one
+        evolve_batch call for the whole pool."""
+        tpg = make_tpg("adder", 8)
+        rng = RngStream(4, "pts-shared")
+        triplets = [
+            Triplet(BitVector.random(8, rng), tpg.suggest_sigma(rng), 16)
+            for _ in range(9)
+        ]
+        calls: list[int] = []
+
+        def counting_evolve(generator, deltas, sigmas, length):
+            calls.append(len(deltas))
+            return generator.evolve_batch(deltas, sigmas, length)
+
+        rows = packed_test_sets(tpg, triplets, evolve=counting_evolve)
+        assert calls == [9]
+        for triplet, row in zip(triplets, rows):
+            assert row.unpack() == triplet.test_set(tpg)
+
+    def test_triplet_packed_test_set(self):
+        tpg = make_tpg("subtracter", 8)
+        triplet = Triplet(BitVector(200, 8), BitVector(3, 8), 10)
+        assert triplet.packed_test_set(tpg).unpack() == triplet.test_set(tpg)
+
+    def test_solution_packed_patterns(self):
+        tpg = make_tpg("adder", 8)
+        rng = RngStream(9, "sol")
+        solution = ReseedingSolution.from_list(
+            [
+                Triplet(BitVector.random(8, rng), tpg.suggest_sigma(rng), t)
+                for t in (7, 3, 19)
+            ]
+        )
+        packed = solution.packed_patterns(tpg)
+        assert packed.unpack() == solution.patterns(tpg)
+        empty = ReseedingSolution(()).packed_patterns(tpg)
+        assert len(empty) == 0 and empty.width == 8
+
+
+class TestNetlistTpgCacheToken:
+    def test_same_name_different_structure_distinct_tokens(self):
+        """Two same-named netlists with different gates must never share
+        cached evolutions."""
+        from repro.circuit.gates import GateType
+        from repro.circuit.netlist import Circuit, Gate
+        from repro.tpg.hardware import NetlistTpg, adder_accumulator_netlist
+
+        a = adder_accumulator_netlist(3, name="tpg")
+        b_netlist = adder_accumulator_netlist(3, name="tpg")
+        # Same interface and name, one gate function changed.
+        gates = [
+            Gate(g.name, GateType.OR if g.gtype is GateType.AND else g.gtype, g.fanins)
+            for g in b_netlist.gates.values()
+        ]
+        b = Circuit("tpg", list(b_netlist.inputs), list(b_netlist.outputs), gates)
+        tpg_a, tpg_b = NetlistTpg(a, 3), NetlistTpg(b, 3)
+        assert tpg_a.name == tpg_b.name
+        assert tpg_a.cache_token() != tpg_b.cache_token()
+        # Identical structure => identical token (cache still shareable).
+        assert (
+            NetlistTpg(adder_accumulator_netlist(3, name="tpg"), 3).cache_token()
+            == tpg_a.cache_token()
+        )
