@@ -5,21 +5,31 @@ obtain the complete deterministic test set ``ATPGTS`` and target fault
 list ``F`` (Section 3.1).  The flow is the classic three-phase one:
 
 1. random-pattern phase with fault dropping (:mod:`repro.atpg.random_gen`),
-2. PODEM deterministic top-off for the random-resistant tail
-   (:mod:`repro.atpg.podem`),
+2. PODEM deterministic top-off for the random-resistant tail — the
+   fault-parallel :mod:`repro.atpg.batch_podem` by default, the scalar
+   recursive :mod:`repro.atpg.podem` as the differential oracle,
 3. reverse-order static compaction (:mod:`repro.atpg.compaction`).
 """
 
 from repro.atpg.values import Value, ZERO, ONE, D, DBAR, X
 from repro.atpg.podem import Podem, PodemResult, PodemStatus, TestCube
+from repro.atpg.batch_podem import BatchPodem
 from repro.atpg.random_gen import RandomPhaseResult, random_phase
 from repro.atpg.compaction import reverse_order_compaction
-from repro.atpg.engine import AtpgEngine, AtpgResult
+from repro.atpg.engine import (
+    ATPG_ENGINES,
+    AtpgConsistencyError,
+    AtpgEngine,
+    AtpgResult,
+)
 from repro.atpg.scoap import ScoapMeasures, compute_scoap
 
 __all__ = [
+    "ATPG_ENGINES",
+    "AtpgConsistencyError",
     "AtpgEngine",
     "AtpgResult",
+    "BatchPodem",
     "D",
     "DBAR",
     "ONE",

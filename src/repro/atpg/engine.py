@@ -7,12 +7,30 @@ by a commercial gate-level ATPG tool, which guarantees complete covering
 of F").  ``F`` is the set of collapsed faults proven testable — faults
 PODEM proves untestable (redundant) are excluded, and aborted faults are
 reported separately.
+
+Two interchangeable test generators drive the deterministic top-off
+phase:
+
+* ``engine="batch"`` (default) — :class:`~repro.atpg.batch_podem.BatchPodem`,
+  which implies a whole batch of fault lanes per sweep on the compiled
+  plan and supports mid-batch fault dropping;
+* ``engine="recursive"`` — the scalar :class:`~repro.atpg.podem.Podem`
+  oracle, one fault at a time.
+
+Both produce test sets with measured coverage 1.0 over ``F``; the
+recursive path additionally reproduces the historical pattern sequence
+bit for bit (the golden pins depend on it).  "Complete covering" is not
+assumed: the final test set is re-simulated against ``F`` and the run
+hard-errors (:class:`AtpgConsistencyError`) if any target fault slips
+through — as does any DETECTED cube whose X-filled pattern fails to
+detect its own target fault under the batched fault simulator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.atpg.batch_podem import BatchPodem
 from repro.atpg.compaction import reverse_order_compaction
 from repro.atpg.podem import Podem, PodemStatus
 from repro.atpg.random_gen import random_phase
@@ -24,6 +42,29 @@ from repro.sim.fault import FaultSimulator
 from repro.utils.bitvec import BitVector
 from repro.utils.rng import RngStream
 
+#: Supported deterministic top-off engines.
+ATPG_ENGINES = ("batch", "recursive")
+
+#: Patterns accumulated before a windowed fault-drop sweep over the
+#: not-yet-attempted faults.  Amortizes the per-pattern drop scan the
+#: historical loop ran after every single pattern.
+_DROP_FLUSH_PATTERNS = 8
+
+#: Upcoming candidates lazily checked per simulator call while the
+#: recursive cursor hunts for its next live fault.
+_LAZY_CHECK_BLOCK = 64
+
+
+class AtpgConsistencyError(RuntimeError):
+    """The ATPG flow produced a result that violates its own invariants.
+
+    Raised when a DETECTED cube's X-filled pattern does not detect its
+    target fault under the batched fault simulator, or when the final
+    test set fails to cover the target fault list ``F`` completely.
+    Either means a test-generation/simulation disagreement — a bug, not
+    a degraded result — so the run refuses to return.
+    """
+
 
 @dataclass
 class AtpgResult:
@@ -32,6 +73,8 @@ class AtpgResult:
     ``test_set`` covers every fault in ``target_faults`` (the paper's
     ``F``); ``untestable`` are proven-redundant faults; ``aborted`` hit
     the PODEM backtrack limit and are excluded from ``F``.
+    ``measured_coverage`` is the re-simulated coverage of ``test_set``
+    over ``target_faults`` — reported, not assumed.
     """
 
     circuit_name: str
@@ -42,6 +85,7 @@ class AtpgResult:
     n_collapsed_faults: int
     random_patterns_kept: int
     podem_patterns: int
+    measured_coverage: float
 
     @property
     def test_length(self) -> int:
@@ -50,9 +94,13 @@ class AtpgResult:
 
     @property
     def fault_coverage(self) -> float:
-        """Coverage of the testable universe (1.0 by construction)."""
-        total = len(self.target_faults)
-        return 1.0 if total else 0.0
+        """Measured coverage of the testable universe.
+
+        Re-simulated by the engine before the result is returned (and
+        asserted to be 1.0 there); an empty target list is vacuously
+        covered.
+        """
+        return self.measured_coverage
 
     @property
     def testable_fraction(self) -> float:
@@ -66,6 +114,7 @@ class AtpgResult:
         return (
             f"{self.circuit_name}: |TS|={self.test_length} "
             f"|F|={len(self.target_faults)} "
+            f"coverage={self.measured_coverage:.4f} "
             f"untestable={len(self.untestable)} aborted={len(self.aborted)}"
         )
 
@@ -84,7 +133,13 @@ class AtpgResult:
 
 
 class AtpgEngine:
-    """Three-phase ATPG: random, PODEM top-off, reverse-order compaction."""
+    """Three-phase ATPG: random, deterministic top-off, reverse-order
+    compaction.
+
+    ``engine`` selects the top-off test generator (``"batch"`` or
+    ``"recursive"``; see the module docstring).  Both engines share the
+    random phase, the X-fill RNG stream, and the compaction pass.
+    """
 
     def __init__(
         self,
@@ -94,12 +149,18 @@ class AtpgEngine:
         backtrack_limit: int = 250,
         compact: bool = True,
         simulator: BatchFaultSimulator | None = None,
+        engine: str = "batch",
     ) -> None:
+        if engine not in ATPG_ENGINES:
+            raise ValueError(
+                f"unknown ATPG engine {engine!r}; expected one of {ATPG_ENGINES}"
+            )
         self.circuit = circuit
         self.seed = seed
         self.max_random_patterns = max_random_patterns
         self.backtrack_limit = backtrack_limit
         self.compact = compact
+        self.engine = engine
         self.simulator = simulator or FaultSimulator(circuit)
 
     def run(self, faults: list[Fault] | None = None) -> AtpgResult:
@@ -120,35 +181,37 @@ class AtpgEngine:
         patterns = list(random_result.patterns)
         n_random = len(patterns)
 
-        podem = Podem(self.circuit, backtrack_limit=self.backtrack_limit)
         fill_rng = rng.child("x-fill")
         untestable: list[Fault] = []
         aborted: list[Fault] = []
-        podem_patterns = 0
-        pending = list(random_result.remaining)
-        while pending:
-            fault = pending.pop(0)
-            result = podem.generate(fault)
-            if result.status is PodemStatus.UNTESTABLE:
-                untestable.append(fault)
-                continue
-            if result.status is PodemStatus.ABORTED:
-                aborted.append(fault)
-                continue
-            pattern = result.cube.to_pattern(self.circuit.inputs, fill_rng)
-            patterns.append(pattern)
-            podem_patterns += 1
-            if pending:
-                # Fault-drop: the new pattern often detects other pending
-                # faults (the random X-fill helps).
-                flags = self.simulator.detected([pattern], pending)
-                pending = [f for f, hit in zip(pending, flags) if not hit]
+        topoff = (
+            self._topoff_batch if self.engine == "batch" else self._topoff_recursive
+        )
+        podem_patterns = topoff(
+            list(random_result.remaining), patterns, fill_rng, untestable, aborted
+        )
 
         excluded = set(untestable) | set(aborted)
         target_faults = [f for f in faults if f not in excluded]
         if self.compact and patterns:
             patterns = reverse_order_compaction(
                 self.circuit, patterns, target_faults, simulator=self.simulator
+            )
+        # The paper's premise is a test set with *complete* covering of
+        # F.  Measure it instead of assuming it: re-simulate the final
+        # set against the target list and refuse to return a partial
+        # covering.
+        measured = self.simulator.fault_coverage(patterns, target_faults)
+        if measured != 1.0:
+            missed = sum(
+                1
+                for hit in self.simulator.detected(patterns, target_faults)
+                if not hit
+            )
+            raise AtpgConsistencyError(
+                f"{self.circuit.name}: final test set covers "
+                f"{measured:.6f} of F ({missed}/{len(target_faults)} "
+                f"target faults undetected) — complete covering violated"
             )
         return AtpgResult(
             circuit_name=self.circuit.name,
@@ -159,4 +222,165 @@ class AtpgEngine:
             n_collapsed_faults=n_collapsed,
             random_patterns_kept=n_random,
             podem_patterns=podem_patterns,
+            measured_coverage=measured,
         )
+
+    # ------------------------------------------------------------------
+    # deterministic top-off phases
+    # ------------------------------------------------------------------
+
+    def _cube_mismatch(self, fault: Fault) -> AtpgConsistencyError:
+        """The cross-engine disagreement error: PODEM said DETECTED but
+        the batched fault simulator, the independent referee, disagrees
+        about the X-filled pattern.  Wrong D-propagation, bad X-fill or
+        a site mix-up would all silently produce an incomplete test set,
+        so this is a hard error rather than a dropped fault."""
+        return AtpgConsistencyError(
+            f"{self.circuit.name}: PODEM cube for {fault} does not "
+            f"detect it after X-fill (simulator disagrees with "
+            f"DETECTED status)"
+        )
+
+    def _topoff_recursive(
+        self,
+        remaining: list[Fault],
+        patterns: list[BitVector],
+        fill_rng,
+        untestable: list[Fault],
+        aborted: list[Fault],
+    ) -> int:
+        """Scalar top-off: one :class:`Podem` call per live fault.
+
+        Reproduces the historical serial loop bit for bit — same fault
+        attempt order, same X-fill RNG draws, same pattern sequence —
+        while replacing its quadratic bookkeeping (``pending.pop(0)``
+        plus a full drop scan after every pattern) with an index cursor,
+        lazy per-candidate checks against the unflushed pattern window,
+        and a windowed drop sweep every ``_DROP_FLUSH_PATTERNS``
+        patterns.  A fault is attempted iff no earlier top-off pattern
+        detects it, exactly as before; only when that is established is
+        ``Podem.generate`` (deterministic per call) invoked.
+        """
+        podem = Podem(self.circuit, backtrack_limit=self.backtrack_limit)
+        dropped = [False] * len(remaining)
+        window: list[BitVector] = []
+        podem_patterns = 0
+        cursor = 0
+        # Lazy-check memo: candidates below ``checked_through`` have
+        # already been screened against a window of ``checked_window``
+        # patterns; only a grown window forces a re-check.
+        checked_through = 0
+        checked_window = 0
+        while True:
+            while cursor < len(remaining):
+                if dropped[cursor]:
+                    cursor += 1
+                    continue
+                if not window or (
+                    cursor < checked_through and len(window) == checked_window
+                ):
+                    break
+                # Check a whole block of upcoming candidates against the
+                # unflushed window in one simulator call.  Dropping a
+                # later fault now (by patterns that would have dropped it
+                # anyway) and re-checking a surviving one later (against
+                # a superset window) are both behavior-preserving.
+                block = [
+                    i
+                    for i in range(cursor, len(remaining))
+                    if not dropped[i]
+                ][:_LAZY_CHECK_BLOCK]
+                flags = self.simulator.detected(
+                    window, [remaining[i] for i in block]
+                )
+                for i, hit in zip(block, flags):
+                    if hit:
+                        dropped[i] = True
+                checked_through = block[-1] + 1
+                checked_window = len(window)
+                if not dropped[cursor]:
+                    break
+                cursor += 1
+            if cursor >= len(remaining):
+                break
+            fault = remaining[cursor]
+            cursor += 1
+            result = podem.generate(fault)
+            if result.status is PodemStatus.UNTESTABLE:
+                untestable.append(fault)
+                continue
+            if result.status is PodemStatus.ABORTED:
+                aborted.append(fault)
+                continue
+            pattern = result.cube.to_pattern(self.circuit.inputs, fill_rng)
+            if not self.simulator.detected([pattern], [fault])[0]:
+                raise self._cube_mismatch(fault)
+            patterns.append(pattern)
+            window.append(pattern)
+            podem_patterns += 1
+            if len(window) >= _DROP_FLUSH_PATTERNS:
+                tail = [
+                    i for i in range(cursor, len(remaining)) if not dropped[i]
+                ]
+                if tail:
+                    flags = self.simulator.detected(
+                        window, [remaining[i] for i in tail]
+                    )
+                    for i, hit in zip(tail, flags):
+                        if hit:
+                            dropped[i] = True
+                window.clear()
+        return podem_patterns
+
+    def _topoff_batch(
+        self,
+        remaining: list[Fault],
+        patterns: list[BitVector],
+        fill_rng,
+        untestable: list[Fault],
+        aborted: list[Fault],
+    ) -> int:
+        """Fault-parallel top-off driving :meth:`BatchPodem.stream`.
+
+        Every generated pattern is hard-checked against its target
+        fault, then fault-drops the in-flight lanes (covered lanes
+        retire mid-batch and free their lane for the queue); every
+        ``_DROP_FLUSH_PATTERNS`` patterns the accumulated window sweeps
+        the still-queued faults so they never even get seated.
+        """
+        podem = BatchPodem(
+            self.circuit,
+            backtrack_limit=self.backtrack_limit,
+            simulator=(
+                self.simulator
+                if isinstance(self.simulator, BatchFaultSimulator)
+                else None
+            ),
+        )
+        window: list[BitVector] = []
+        podem_patterns = 0
+        for fault, result in podem.stream(remaining):
+            if result.status is PodemStatus.UNTESTABLE:
+                untestable.append(fault)
+                continue
+            if result.status is PodemStatus.ABORTED:
+                aborted.append(fault)
+                continue
+            pattern = result.cube.to_pattern(self.circuit.inputs, fill_rng)
+            active = podem.active_faults()
+            flags = self.simulator.detected([pattern], [fault] + active)
+            if not flags[0]:
+                raise self._cube_mismatch(fault)
+            podem.drop([f for f, hit in zip(active, flags[1:]) if hit])
+            patterns.append(pattern)
+            window.append(pattern)
+            podem_patterns += 1
+            if len(window) >= _DROP_FLUSH_PATTERNS:
+                queued = podem.queued_faults()
+                if queued:
+                    qflags = self.simulator.detected(window, queued)
+                    podem.drop(
+                        [f for f, hit in zip(queued, qflags) if hit]
+                    )
+                window.clear()
+        return podem_patterns

@@ -399,9 +399,16 @@ class Podem:
         if not self._x_path_exists(frontier):
             return None
         distances = self._po_distance
+        # Tie-break equal PO distances by node id: frontier membership is
+        # a set, so without this the choice would depend on hash/iteration
+        # order (and could differ across Python builds or equivalent
+        # implementations of the same search).
         gate_id = min(
             frontier,
-            key=lambda g: distances[g] if distances[g] is not None else 1 << 30,
+            key=lambda g: (
+                distances[g] if distances[g] is not None else 1 << 30,
+                g,
+            ),
         )
         control = self._control[self._gtype[gate_id]]
         good = self._good

@@ -1,0 +1,171 @@
+"""Packed five-valued algebra over ``uint64`` bit-planes.
+
+The scalar D-algebra (:mod:`repro.atpg.values`) represents one net of
+one machine pair as a ``(good, faulty)`` pair of three-valued values.
+This module packs the same algebra for *many machines at once*: each
+three-valued component is carried as **two bit-planes** per net —
+
+* ``v`` — the value bit (meaningful only where the care bit is set);
+* ``c`` — the care bit (1 = known 0/1, 0 = unknown X);
+
+with the invariant ``v & ~c == 0`` (unknown lanes carry value 0).  Bit
+``k`` of word ``w`` is machine/lane ``64*w + k``, exactly the packing
+:class:`~repro.utils.bitvec.PackedPatterns` and the batched fault
+simulator use for the pattern axis, so the batch PODEM
+(:mod:`repro.atpg.batch_podem`) runs one fault per lane and evaluates a
+whole level of gates for every lane with a handful of numpy calls.
+
+The plane formulas are the word-parallel counterparts of the scalar
+three-valued evaluators (``_eval3`` in :mod:`repro.atpg.podem`); the
+property suite in ``tests/test_atpg_batch.py`` pins them to each other
+component by component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Three-valued X code used by the unpacked (per-lane) views.
+X3 = 2
+
+__all__ = [
+    "X3",
+    "reduce_gate_planes",
+    "reduceat_gate_planes",
+    "not_planes",
+    "planes_from_codes",
+    "codes_from_planes",
+]
+
+
+def not_planes(v: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Three-valued NOT on packed planes: known lanes flip, X stays X
+    (and the ``v & ~c == 0`` invariant is re-established)."""
+    return c & ~v, c
+
+
+def reduce_gate_planes(
+    gtype: GateType, v: np.ndarray, c: np.ndarray, axis: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate many same-type gates over stacked fanin planes.
+
+    ``v`` / ``c`` carry the gathered fanin planes of a group of gates
+    sharing one type and arity; ``axis`` is the fanin axis (reduced
+    away).  This is the five-valued counterpart of
+    :func:`repro.circuit.gates.reduce_gate_words` — one call evaluates a
+    whole (level, type, arity) group for every packed lane:
+
+    * AND — known when all fanins are known, or some fanin is a known 0;
+    * OR  — known when all fanins are known, or some fanin is a known 1;
+    * XOR — known only when every fanin is known;
+    * inverting types apply :func:`not_planes` to the base result.
+    """
+    if gtype in (GateType.AND, GateType.NAND):
+        out_v = np.bitwise_and.reduce(v, axis=axis)
+        out_c = np.bitwise_and.reduce(c, axis=axis) | np.bitwise_or.reduce(
+            c & ~v, axis=axis
+        )
+    elif gtype in (GateType.OR, GateType.NOR):
+        out_v = np.bitwise_or.reduce(v, axis=axis)
+        # v & ~c == 0, so a set value bit is always a *known* 1.
+        out_c = np.bitwise_and.reduce(c, axis=axis) | out_v
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        out_c = np.bitwise_and.reduce(c, axis=axis)
+        out_v = np.bitwise_xor.reduce(v, axis=axis) & out_c
+    elif gtype in (GateType.NOT, GateType.BUF):
+        out_v = np.take(v, 0, axis=axis)
+        out_c = np.take(c, 0, axis=axis)
+    else:
+        raise ValueError(f"gate type {gtype!r} has no plane-reduction form")
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+        out_v = out_c & ~out_v
+    return out_v, out_c
+
+
+def reduceat_gate_planes(
+    gtype: GateType, v: np.ndarray, c: np.ndarray, starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segmented form of :func:`reduce_gate_planes` for ragged fanins.
+
+    ``v`` / ``c`` stack the *concatenated* fanin planes of many
+    same-type gates along axis 0 (mixed arities welcome); ``starts``
+    marks each gate's first fanin row, exactly as
+    :meth:`numpy.ufunc.reduceat` expects.  One call evaluates every
+    same-type gate of a topological level for every packed lane, so the
+    sweep's numpy-call count no longer depends on how arities fragment a
+    level.  Same truth tables as :func:`reduce_gate_planes`.
+    """
+    if gtype in (GateType.AND, GateType.NAND):
+        out_v = np.bitwise_and.reduceat(v, starts, axis=0)
+        out_c = np.bitwise_and.reduceat(
+            c, starts, axis=0
+        ) | np.bitwise_or.reduceat(c & ~v, starts, axis=0)
+    elif gtype in (GateType.OR, GateType.NOR):
+        out_v = np.bitwise_or.reduceat(v, starts, axis=0)
+        # v & ~c == 0, so a set value bit is always a *known* 1.
+        out_c = np.bitwise_and.reduceat(c, starts, axis=0) | out_v
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        out_c = np.bitwise_and.reduceat(c, starts, axis=0)
+        out_v = np.bitwise_xor.reduceat(v, starts, axis=0) & out_c
+    elif gtype in (GateType.NOT, GateType.BUF):
+        out_v, out_c = v, c  # single fanin: gather *is* the result
+    else:
+        raise ValueError(f"gate type {gtype!r} has no plane-reduction form")
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+        out_v = out_c & ~out_v
+    return out_v, out_c
+
+
+def planes_from_codes(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Pack three-valued codes (0/1/2, lane axis last) into planes.
+
+    ``codes`` has shape ``(..., n_lanes)``; the result planes have shape
+    ``(..., ceil(n_lanes / 64))`` with lane ``64*w + k`` at bit ``k`` of
+    word ``w`` (tail lanes are X).  Inverse of :func:`codes_from_planes`;
+    mainly a test/debug helper — the hot path never round-trips.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    care = (codes != X3).astype(np.uint8)
+    value = (codes == 1).astype(np.uint8)
+    lead = codes.shape[:-1]
+    n_lanes = codes.shape[-1]
+    n_words = (n_lanes + 63) // 64 or 1
+
+    def _pack(bits: np.ndarray) -> np.ndarray:
+        flat = bits.reshape(-1, n_lanes)
+        packed = np.packbits(flat, axis=1, bitorder="little")
+        padded = np.zeros((flat.shape[0], n_words * 8), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        words = padded.view(np.dtype("<u8")).astype(np.uint64)
+        return words.reshape(*lead, n_words)
+
+    return _pack(value), _pack(care)
+
+
+def codes_from_planes(
+    v: np.ndarray, c: np.ndarray, n_lanes: int
+) -> np.ndarray:
+    """Unpack planes back to three-valued codes (0/1/2, lane axis last)."""
+    lead = v.shape[:-1]
+
+    def _unpack(words: np.ndarray) -> np.ndarray:
+        flat = np.ascontiguousarray(words, dtype=np.uint64)
+        bits = np.unpackbits(
+            flat.view(np.uint8).reshape(flat.shape[0] if flat.ndim > 1 else 1, -1)
+            if flat.ndim > 1
+            else flat.view(np.uint8).reshape(1, -1),
+            axis=1,
+            bitorder="little",
+        )
+        return bits[:, :n_lanes]
+
+    v2 = v.reshape(-1, v.shape[-1]) if v.ndim > 1 else v.reshape(1, -1)
+    c2 = c.reshape(-1, c.shape[-1]) if c.ndim > 1 else c.reshape(1, -1)
+    value = _unpack(v2)
+    care = _unpack(c2)
+    codes = np.where(care.astype(bool), value, np.uint8(X3)).astype(np.uint8)
+    return codes.reshape(*lead, n_lanes) if lead else codes.reshape(n_lanes)

@@ -80,6 +80,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
         cover_method=args.method,
         max_random_patterns=args.max_random_patterns,
         backtrack_limit=args.backtrack_limit,
+        atpg_engine=args.atpg_engine,
         grasp_iterations=args.grasp_iterations,
         matrix_workers=args.workers,
     )
@@ -147,6 +148,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cover_method=args.method,
         max_random_patterns=args.max_random_patterns,
         backtrack_limit=args.backtrack_limit,
+        atpg_engine=args.atpg_engine,
         grasp_iterations=args.grasp_iterations,
     )
     cache = ArtifactCache(args.cache) if args.cache else None
@@ -215,11 +217,12 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 
         python -m repro atpg --circuit c880
         python -m repro atpg --circuit s420 --patterns   # print the test set
+        python -m repro atpg --circuit s1238 --engine recursive
     """
     from repro.atpg.engine import AtpgEngine
 
     circuit = load_circuit(args.circuit, scale=args.scale)
-    engine = AtpgEngine(circuit, seed=args.seed)
+    engine = AtpgEngine(circuit, seed=args.seed, engine=args.engine)
     result = engine.run()
     print(result.summary())
     if args.patterns:
@@ -352,6 +355,13 @@ def _add_flow_knobs(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=250,
         help="PODEM backtrack limit per fault (default 250)",
+    )
+    parser.add_argument(
+        "--atpg-engine",
+        default="batch",
+        choices=["batch", "recursive"],
+        help="deterministic top-off engine: fault-parallel batch PODEM "
+        "(default) or the scalar recursive oracle",
     )
     parser.add_argument(
         "--grasp-iterations",
@@ -491,6 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--circuit", required=True)
     atpg.add_argument("--scale", type=float, default=0.25)
     atpg.add_argument("--seed", type=int, default=2001)
+    atpg.add_argument(
+        "--engine",
+        default="batch",
+        choices=["batch", "recursive"],
+        help="deterministic top-off engine (default batch)",
+    )
     atpg.add_argument(
         "--patterns", action="store_true", help="print the test patterns"
     )

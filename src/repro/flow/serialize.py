@@ -22,7 +22,9 @@ from typing import Any
 import numpy as np
 
 #: Bump whenever the serialised layout of any artefact changes.
-SCHEMA_VERSION = 1
+#: v2: ``atpg_result`` gained ``measured_coverage`` (re-simulated
+#: coverage of the final test set — reported, not assumed).
+SCHEMA_VERSION = 2
 
 
 class SchemaMismatchError(ValueError):
@@ -159,6 +161,7 @@ def atpg_result_to_dict(result) -> dict[str, Any]:
         "n_collapsed_faults": result.n_collapsed_faults,
         "random_patterns_kept": result.random_patterns_kept,
         "podem_patterns": result.podem_patterns,
+        "measured_coverage": result.measured_coverage,
     }
 
 
@@ -177,6 +180,7 @@ def atpg_result_from_dict(data: dict[str, Any]):
         n_collapsed_faults=data["n_collapsed_faults"],
         random_patterns_kept=data["random_patterns_kept"],
         podem_patterns=data["podem_patterns"],
+        measured_coverage=data["measured_coverage"],
     )
 
 

@@ -218,7 +218,12 @@ class Session:
     @staticmethod
     def _atpg_knobs(config: PipelineConfig) -> tuple:
         """The config knobs ATPG actually reads (its memoization key)."""
-        return (config.seed, config.max_random_patterns, config.backtrack_limit)
+        return (
+            config.seed,
+            config.max_random_patterns,
+            config.backtrack_limit,
+            config.atpg_engine,
+        )
 
     @property
     def circuit_fingerprint(self) -> str:
@@ -252,6 +257,7 @@ class Session:
             seed=config.seed,
             max_random_patterns=config.max_random_patterns,
             backtrack_limit=config.backtrack_limit,
+            atpg_engine=config.atpg_engine,
         )
 
     def _result_key(self, tpg_name: str, config: PipelineConfig) -> str:
@@ -298,6 +304,7 @@ class Session:
             max_random_patterns=config.max_random_patterns,
             backtrack_limit=config.backtrack_limit,
             simulator=self.simulator,
+            engine=config.atpg_engine,
         )
         result = engine.run()
         self._atpg_seconds = time.perf_counter() - start

@@ -153,6 +153,7 @@ class AtpgStage(Stage):
             max_random_patterns=config.max_random_patterns,
             backtrack_limit=config.backtrack_limit,
             simulator=ctx.simulator,
+            engine=config.atpg_engine,
         )
         ctx.artifacts["atpg"] = engine.run()
         return False

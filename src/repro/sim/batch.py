@@ -318,6 +318,17 @@ class BatchFaultSimulator:
     # public API
     # ------------------------------------------------------------------
 
+    def plan_for(self, faults: Sequence[Fault]) -> _BatchPlan:
+        """The compiled cone-union schedule for one fault batch.
+
+        Public accessor over the LRU plan cache, so engines layered on
+        the simulator — the batch PODEM's implication step, drop loops
+        in :mod:`repro.atpg.engine` — share the same levelized
+        schedules (and the same cache economics) as the detection
+        queries instead of recompiling cone unions on the side.
+        """
+        return self._plan(tuple(faults))
+
     def detection_matrix(
         self, patterns: PatternsLike, faults: Sequence[Fault]
     ) -> np.ndarray:

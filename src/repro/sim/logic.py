@@ -116,14 +116,25 @@ class CompiledCircuit:
         self.const0_ids = np.array(const0, dtype=np.int64)
         self.const1_ids = np.array(const1, dtype=np.int64)
         #: Level-ordered eval groups: (gate type, output ids, fanin id matrix).
-        self.eval_groups: list[tuple[GateType, np.ndarray, np.ndarray]] = [
-            (
+        self.eval_groups: list[tuple[GateType, np.ndarray, np.ndarray]] = []
+        #: The same groups keyed by topological level — the *levelized
+        #: plan*.  Consumers that must interleave per-level work with the
+        #: sweep (the batch PODEM re-asserts per-lane fault forcings
+        #: after each level, mirroring the fault simulator's
+        #: ``_BatchPlan``) walk this instead of ``eval_groups``.
+        self.eval_levels: list[
+            tuple[int, list[tuple[GateType, np.ndarray, np.ndarray]]]
+        ] = []
+        by_level: dict[int, list[tuple[GateType, np.ndarray, np.ndarray]]] = {}
+        for level, gtype, arity in sorted(grouped, key=lambda k: k[0]):
+            group = (
                 gtype,
                 np.array(grouped[(level, gtype, arity)][0], dtype=np.int64),
                 np.array(grouped[(level, gtype, arity)][1], dtype=np.int64),
             )
-            for level, gtype, arity in sorted(grouped, key=lambda k: k[0])
-        ]
+            self.eval_groups.append(group)
+            by_level.setdefault(level, []).append(group)
+        self.eval_levels = sorted(by_level.items())
 
     @property
     def n_inputs(self) -> int:

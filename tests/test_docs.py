@@ -30,6 +30,7 @@ EXAMPLES = REPO_ROOT / "examples"
 #: suite, but every example still exercises its full code path.
 EXAMPLE_ARGS: dict[str, list[str]] = {
     "quickstart.py": [],
+    "batch_atpg.py": ["--circuit", "s420", "--scale", "0.25"],
     "lfsr_reseeding.py": ["--circuit", "s420", "--scale", "0.15"],
     "custom_tpg.py": ["--circuit", "s420", "--scale", "0.15"],
     "full_bist_session.py": ["--circuit", "s420", "--scale", "0.15"],

@@ -109,36 +109,51 @@ def test_incremental_plan_scan_pinned(name):
 
 
 #: End-to-end flow pins (scale 0.25, adder TPG, T=16, 512 random
-#: patterns, seed 2001): Table-1's (#Triplets, TestLength) per circuit.
-#: The stage/session machinery must reproduce these bit-identically to
-#: the pre-stage pipeline implementation.
-GOLDEN_PIPELINE: dict[str, tuple[int, int]] = {
-    "c499": (4, 52),
-    "c880": (7, 81),
-    "s420": (1, 14),
+#: patterns, seed 2001): Table-1's (#Triplets, TestLength) per circuit,
+#: per ATPG top-off engine.  The ``recursive`` column must reproduce the
+#: pre-stage pipeline implementation bit-identically; the ``batch``
+#: column pins the fault-parallel PODEM path (different pattern order,
+#: same downstream aggregates at this workload).
+GOLDEN_PIPELINE: dict[str, dict[str, tuple[int, int]]] = {
+    "recursive": {
+        "c499": (4, 52),
+        "c880": (7, 81),
+        "s420": (1, 14),
+    },
+    "batch": {
+        "c499": (4, 52),
+        "c880": (7, 81),
+        "s420": (1, 14),
+    },
 }
 
 _PIPELINE_SCALE = 0.25
 
 
-def _golden_pipeline_config():
+def _golden_pipeline_config(atpg_engine: str = "recursive"):
     from repro.flow.pipeline import PipelineConfig
 
-    return PipelineConfig(evolution_length=16, max_random_patterns=512)
+    return PipelineConfig(
+        evolution_length=16, max_random_patterns=512, atpg_engine=atpg_engine
+    )
 
 
-@pytest.mark.parametrize("name", sorted(GOLDEN_PIPELINE))
-def test_pipeline_results_pinned(name):
+@pytest.mark.parametrize("engine", sorted(GOLDEN_PIPELINE))
+@pytest.mark.parametrize("name", sorted(GOLDEN_PIPELINE["recursive"]))
+def test_pipeline_results_pinned(name, engine):
     """`ReseedingPipeline.run()` through the stage machinery keeps the
     exact #Triplets / TestLength of the seed implementation."""
     from repro.flow.pipeline import ReseedingPipeline
 
     circuit = load_circuit(name, scale=_PIPELINE_SCALE)
-    result = ReseedingPipeline(circuit, "adder", _golden_pipeline_config()).run()
-    assert (result.n_triplets, result.test_length) == GOLDEN_PIPELINE[name]
+    result = ReseedingPipeline(
+        circuit, "adder", _golden_pipeline_config(engine)
+    ).run()
+    assert (result.n_triplets, result.test_length) == GOLDEN_PIPELINE[engine][name]
+    assert result.atpg.measured_coverage == 1.0
 
 
-@pytest.mark.parametrize("name", sorted(GOLDEN_PIPELINE))
+@pytest.mark.parametrize("name", sorted(GOLDEN_PIPELINE["recursive"]))
 def test_session_agrees_with_pipeline_pins(name):
     """The Session/stage path and a cache round trip reproduce the pins."""
     from repro.flow.session import Session
@@ -147,9 +162,9 @@ def test_session_agrees_with_pipeline_pins(name):
         name, scale=_PIPELINE_SCALE, config=_golden_pipeline_config()
     )
     result = session.run("adder")
-    assert (result.n_triplets, result.test_length) == GOLDEN_PIPELINE[name]
+    assert (result.n_triplets, result.test_length) == GOLDEN_PIPELINE["recursive"][name]
     clone = type(result).from_dict(result.to_dict())
-    assert (clone.n_triplets, clone.test_length) == GOLDEN_PIPELINE[name]
+    assert (clone.n_triplets, clone.test_length) == GOLDEN_PIPELINE["recursive"][name]
 
 
 #: Effect-cause diagnosis pins (the 128 golden patterns, one injected
