@@ -1,0 +1,249 @@
+"""Serve-layer soak: batched concurrent traffic vs one-at-a-time.
+
+The workload is the tester-farm shape the serve subsystem exists for:
+one BIST pattern sequence on ``c880``, many failing dies, each die's
+fail log POSTed to ``/diagnose`` with the shared content-addressed
+``patterns_ref``.  Two traffic regimes over the same request set:
+
+* **baseline** — batching disabled (zero window, ``max_batch=1``), one
+  client sending one request at a time: every log pays the full
+  HTTP + parse + dispatch + compute round trip serially;
+* **batched** — a 25 ms window, ``max_batch=32``, 32 concurrent client
+  threads: the micro-batcher fuses each wave into one vectorised
+  dictionary pass.
+
+Two tiers, like the other throughput benchmarks:
+
+* the always-on record test runs a reduced workload on ``c499`` and
+  lands both regimes' p50/p99 latency, logs/sec and batch occupancy in
+  ``BENCH_serve.json`` (field glossary in ``docs/benchmarks.md``);
+* the slow-marked floor test runs the full ``c880`` soak and asserts
+  batched throughput stays **>= 2x** the one-at-a-time baseline
+  (measured ~8-12x on the reference container), after checking every
+  concurrent request succeeded and the responses match the baseline's.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.diagnosis import make_fail_log
+from repro.faults.collapse import collapse_faults
+from repro.flow.serialize import to_json
+from repro.flow.session import Session
+from repro.serve import (
+    BackgroundServer,
+    DiagnoseRequest,
+    ServeClient,
+    ServeConfig,
+)
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+#: Record tier: small enough for the default (non-slow) suite.
+RECORD_CIRCUIT = "c499"
+RECORD_PATTERNS = 64
+RECORD_REQUESTS = 32
+RECORD_CLIENTS = 8
+
+#: Floor tier: the acceptance workload.
+FLOOR_CIRCUIT = "c880"
+FLOOR_PATTERNS = 256
+FLOOR_REQUESTS = 96
+FLOOR_CLIENTS = 32
+
+#: Batched regime knobs (the serve defaults, window widened a little so
+#: full waves of FLOOR_CLIENTS requests fuse).
+BATCH_WINDOW_MS = 25.0
+MAX_BATCH = 32
+
+#: Required batched-vs-serial advantage (measured ~8-12x on the
+#: reference container; 2x is the acceptance floor).
+MIN_SPEEDUP = 2.0
+
+_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_document(bench_json_writer):
+    yield
+    if not _RECORDS:
+        return
+    # Merge with the document on disk so a floor-only run (CI's `-m
+    # slow` step deselects the record test) augments the record entries
+    # instead of replacing them.
+    existing = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+    workloads: dict[str, dict] = {}
+    if existing.is_file():
+        try:
+            workloads.update(json.loads(existing.read_text())["workloads"])
+        except (ValueError, KeyError):
+            pass
+    workloads.update(_RECORDS)
+    payload = {
+        "benchmark": "serve_throughput",
+        "endpoint": "/diagnose",
+        "method": "dictionary",
+        "workloads": dict(sorted(workloads.items())),
+    }
+    floor = workloads.get(f"floor/{FLOOR_CIRCUIT}")
+    if floor:
+        payload["speedup_batched_vs_serial"] = floor["speedup"]
+    bench_json_writer("BENCH_serve.json", payload)
+
+
+def _traffic(circuit_name: str, n_patterns: int, n_requests: int):
+    """One shared pattern sequence + ``n_requests`` single-fault logs."""
+    session = Session.from_name(circuit_name)
+    circuit = session.circuit
+    faults = collapse_faults(circuit)
+    rng = RngStream(3, "serve-bench", circuit.name)
+    patterns = [
+        BitVector.random(circuit.n_inputs, rng) for _ in range(n_patterns)
+    ]
+    detected = session.simulator.detected(patterns, faults)
+    detectable = [f for f, flag in zip(faults, detected) if flag]
+    responses = [
+        tuple(
+            r.to_string()
+            for r in make_fail_log(
+                circuit,
+                patterns,
+                detectable[i % len(detectable)],
+                session.simulator.compiled,
+            ).responses
+        )
+        for i in range(n_requests)
+    ]
+    return tuple(p.to_string() for p in patterns), responses
+
+
+def _soak(
+    circuit_name: str,
+    patterns_text,
+    responses,
+    *,
+    window_ms: float,
+    max_batch: int,
+    n_clients: int,
+):
+    """One traffic regime: returns (metrics dict, served result JSONs)."""
+    config = ServeConfig(
+        port=0,
+        batch_window_ms=window_ms,
+        max_batch=max_batch,
+        max_queue=max(512, 4 * len(responses)),
+    )
+    with BackgroundServer(config) as server:
+        with ServeClient(server.host, server.port) as warm:
+            # Register the pattern set and warm the dictionary: the soak
+            # measures traffic handling, not the cold artefact build.
+            ref = warm.diagnose(
+                DiagnoseRequest(
+                    circuit=circuit_name,
+                    patterns=patterns_text,
+                    responses=responses[0],
+                )
+            ).patterns_ref
+
+        def one_request(index):
+            with ServeClient(server.host, server.port) as client:
+                start = time.perf_counter()
+                response = client.diagnose(
+                    DiagnoseRequest(
+                        circuit=circuit_name,
+                        patterns_ref=ref,
+                        responses=responses[index],
+                    )
+                )
+                return response, (time.perf_counter() - start) * 1000.0
+
+        start = time.perf_counter()
+        if n_clients == 1:
+            served = [one_request(i) for i in range(len(responses))]
+        else:
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                served = list(pool.map(one_request, range(len(responses))))
+        wall_s = time.perf_counter() - start
+        with ServeClient(server.host, server.port) as client:
+            batcher = client.stats()["batcher"]
+    latencies = sorted(ms for _, ms in served)
+    metrics = {
+        "n_requests": len(served),
+        "n_clients": n_clients,
+        "window_ms": window_ms,
+        "max_batch": max_batch,
+        "wall_seconds": round(wall_s, 4),
+        "logs_per_sec": round(len(served) / wall_s, 1),
+        "p50_ms": round(statistics.median(latencies), 2),
+        "p99_ms": round(latencies[int(0.99 * (len(latencies) - 1))], 2),
+        "avg_batch_occupancy": batcher["avg_occupancy"],
+        "max_batch_occupancy": batcher["max_occupancy"],
+        "shed": batcher["shed"],
+    }
+    return metrics, [to_json(resp.result) for resp, _ in served]
+
+
+def test_record_batched_vs_serial():
+    """Always-on record tier: both regimes on the reduced c499 soak."""
+    patterns_text, responses = _traffic(
+        RECORD_CIRCUIT, RECORD_PATTERNS, RECORD_REQUESTS
+    )
+    serial, serial_results = _soak(
+        RECORD_CIRCUIT, patterns_text, responses,
+        window_ms=0.0, max_batch=1, n_clients=1,
+    )
+    batched, batched_results = _soak(
+        RECORD_CIRCUIT, patterns_text, responses,
+        window_ms=BATCH_WINDOW_MS, max_batch=MAX_BATCH,
+        n_clients=RECORD_CLIENTS,
+    )
+    assert batched_results == serial_results  # same answers, any regime
+    assert batched["max_batch_occupancy"] > 1
+    _RECORDS[f"serial/{RECORD_CIRCUIT}"] = serial
+    _RECORDS[f"batched/{RECORD_CIRCUIT}"] = batched
+
+
+@pytest.mark.slow
+def test_batched_throughput_floor():
+    """Batched concurrent traffic must stay >= 2x the one-at-a-time
+    baseline on the full c880 soak, with every request succeeding.
+
+    Marked ``slow`` like the other wall-clock ratio floors; CI runs it
+    in the dedicated benchmark-floor step.
+    """
+    patterns_text, responses = _traffic(
+        FLOOR_CIRCUIT, FLOOR_PATTERNS, FLOOR_REQUESTS
+    )
+    serial, serial_results = _soak(
+        FLOOR_CIRCUIT, patterns_text, responses,
+        window_ms=0.0, max_batch=1, n_clients=1,
+    )
+    batched, batched_results = _soak(
+        FLOOR_CIRCUIT, patterns_text, responses,
+        window_ms=BATCH_WINDOW_MS, max_batch=MAX_BATCH,
+        n_clients=FLOOR_CLIENTS,
+    )
+    # Every one of the >= 32 concurrent requests succeeded, nothing was
+    # shed, and batching never changed an answer.
+    assert len(batched_results) == FLOOR_REQUESTS
+    assert batched["shed"] == 0
+    assert batched_results == serial_results
+    assert batched["max_batch_occupancy"] > 1
+    speedup = round(batched["logs_per_sec"] / serial["logs_per_sec"], 2)
+    _RECORDS[f"floor/{FLOOR_CIRCUIT}"] = {
+        "serial": serial,
+        "batched": batched,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched traffic only {speedup:.2f}x the one-at-a-time baseline "
+        f"({batched['logs_per_sec']}/s vs {serial['logs_per_sec']}/s)"
+    )

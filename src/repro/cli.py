@@ -326,6 +326,32 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — BIST diagnosis as a batching HTTP service.
+
+    Examples::
+
+        python -m repro serve --port 8731 --store .repro-store
+        python -m repro serve --host 0.0.0.0 --batch-window-ms 25 --max-batch 64
+
+    Stop with SIGTERM (or Ctrl-C): the worker drains — finishes every
+    accepted request, flushes responses — and exits 0.
+    """
+    from repro.serve import ServeConfig, run
+
+    return run(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            timeout_ms=args.timeout_ms,
+            store=args.store,
+        )
+    )
+
+
 def _delegate(module_main):
     def runner(args: argparse.Namespace) -> int:
         module_main(args.rest)
@@ -511,6 +537,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--patterns", action="store_true", help="print the test patterns"
     )
     atpg.set_defaults(func=_cmd_atpg)
+
+    serve = sub.add_parser(
+        "serve", help="serve diagnosis/ATPG/sweep over HTTP with batching"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8731, help="TCP port (0 for ephemeral)"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=10.0,
+        help="how long to hold a request for batch companions (default 10)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="most requests fused into one compute pass (default 32)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="bounded request queue; beyond it, shed with 429 (default 256)",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=int,
+        default=30_000,
+        help="default per-request deadline (default 30000)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="shared artifact-store directory (mountable by many workers)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     for name in ("table1", "table2", "figure2"):
         experiment = sub.add_parser(

@@ -52,6 +52,7 @@ class FaultDictionary:
         self.circuit_name = circuit_name
         self.faults = list(faults)
         self.matrix = matrix
+        self._fault_rank: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -152,6 +153,97 @@ class FaultDictionary:
             n_candidates_considered=self.n_faults,
             patterns_resimulated=0,
         )
+
+    def _fault_order_rank(self) -> np.ndarray:
+        """Per-column rank of each fault in its deterministic total
+        order (:meth:`~repro.faults.model.Fault.sort_key`) — the final
+        tie-break of :meth:`~repro.diagnosis.result.Candidate.sort_key`,
+        precomputed once so the batched lookup can lexsort with it."""
+        if self._fault_rank is None:
+            order = sorted(
+                range(len(self.faults)),
+                key=lambda column: self.faults[column].sort_key(),
+            )
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(len(order))
+            self._fault_rank = rank
+        return self._fault_rank
+
+    def diagnose_many(
+        self,
+        fail_flags: np.ndarray,
+        top_k: "int | Sequence[int]" = 10,
+    ) -> list[DiagnosisResult]:
+        """Diagnose a whole batch of fail logs in one lookup pass.
+
+        ``fail_flags`` is ``(n_patterns, n_logs)`` (a 1-D array is one
+        log).  The tau counts of every (fault, log) pair come from three
+        matrix products, and each log's ranking is a vectorised lexsort
+        over exactly the keys :meth:`~repro.diagnosis.result.Candidate.
+        sort_key` uses — so every returned :class:`DiagnosisResult` is
+        **identical** to a serial :meth:`diagnose` call for that log's
+        flags.  This is the fault-axis batching trick applied across
+        *requests*: N concurrent fail logs cost one pass, not N.
+        """
+        flags = np.asarray(fail_flags, dtype=bool)
+        if flags.ndim == 1:
+            flags = flags[:, None]
+        if flags.shape[0] != self.n_patterns:
+            raise ValueError(
+                f"fail flags have {flags.shape[0]} patterns, dictionary "
+                f"covers {self.n_patterns}"
+            )
+        n_logs = flags.shape[1]
+        top_ks = (
+            [int(k) for k in top_k]
+            if isinstance(top_k, (list, tuple))
+            else [int(top_k)] * n_logs
+        )
+        if len(top_ks) != n_logs:
+            raise ValueError(f"{len(top_ks)} top_k values for {n_logs} logs")
+        predicted = self.matrix.astype(np.int64)  # (P, F)
+        observed = flags.astype(np.int64)  # (P, B)
+        n_match = predicted.T @ observed  # (F, B)
+        n_failing = observed.sum(axis=0)  # (B,)
+        predicted_fails = predicted.sum(axis=0)  # (F,)
+        n_mispredicted = predicted_fails[:, None] - n_match
+        n_missed = n_failing[None, :] - n_match
+        score = n_match - n_mispredicted - n_missed
+        fault_rank = self._fault_order_rank()
+        results: list[DiagnosisResult] = []
+        for log in range(n_logs):
+            # lexsort: last key is primary — (-score, n_missed,
+            # n_mispredicted, fault order), exactly Candidate.sort_key
+            # (n_response_match is None throughout dictionary mode).
+            order = np.lexsort(
+                (
+                    fault_rank,
+                    n_mispredicted[:, log],
+                    n_missed[:, log],
+                    -score[:, log],
+                )
+            )
+            candidates = [
+                Candidate(
+                    self.faults[column],
+                    int(n_match[column, log]),
+                    int(n_mispredicted[column, log]),
+                    int(n_missed[column, log]),
+                )
+                for column in order[: top_ks[log]]
+            ]
+            results.append(
+                DiagnosisResult(
+                    circuit_name=self.circuit_name,
+                    mode="dictionary",
+                    n_patterns=self.n_patterns,
+                    n_failing=int(n_failing[log]),
+                    candidates=candidates,
+                    n_candidates_considered=self.n_faults,
+                    patterns_resimulated=0,
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------
     # persistence

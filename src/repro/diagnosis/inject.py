@@ -158,6 +158,18 @@ class FailLog:
             self._packed = cached
         return cached
 
+    def attach_packed(self, packed: PackedPatterns) -> "FailLog":
+        """Pre-seed the packed-pattern cache with an already-packed form
+        of this log's pattern sequence (the serve layer shares one
+        packing across every fail log of a tester batch)."""
+        if packed.n_patterns != len(self.patterns):
+            raise ValueError(
+                f"packed carries {packed.n_patterns} patterns, "
+                f"log has {len(self.patterns)}"
+            )
+        self._packed = packed
+        return self
+
 
 def make_fail_log(
     circuit: Circuit,

@@ -399,6 +399,264 @@ def diagnosis_result_from_dict(data: dict[str, Any]):
     )
 
 
+# --------------------------------------------------------------------------
+# Serve-layer request/response bodies (repro.serve)
+# --------------------------------------------------------------------------
+#
+# Every body crossing the `repro serve` HTTP boundary is a
+# schema-stamped payload of one of the kinds below, so the wire format
+# is versioned and validated exactly like the artifact cache: a client
+# or worker from another schema generation is rejected up front
+# (SchemaMismatchError -> 400) instead of mis-decoded.
+
+
+def pattern_set_to_dict(pattern_set) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.PatternSet` (one applied BIST pattern
+    sequence, shareable across diagnose requests via its content ref)
+    as a schema-stamped payload — also the ``pattern_set`` artifact-
+    store kind workers on other machines load instead of re-parsing."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "pattern_set",
+        "circuit_name": pattern_set.circuit_name,
+        "width": pattern_set.width,
+        "patterns": [bitvector_to_str(p) for p in pattern_set.patterns],
+    }
+
+
+def pattern_set_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`pattern_set_to_dict`."""
+    from repro.serve.api import PatternSet
+
+    check_schema(data, "pattern_set")
+    return PatternSet(
+        circuit_name=data["circuit_name"],
+        width=data["width"],
+        patterns=tuple(bitvector_from_str(p) for p in data["patterns"]),
+    )
+
+
+def diagnose_request_to_dict(request) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.DiagnoseRequest` as the ``POST
+    /diagnose`` body."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "diagnose_request",
+        "circuit": request.circuit,
+        "scale": request.scale,
+        "responses": list(request.responses),
+        "patterns": list(request.patterns) if request.patterns is not None else None,
+        "patterns_ref": request.patterns_ref,
+        "method": request.method,
+        "top_k": request.top_k,
+        "timeout_ms": request.timeout_ms,
+    }
+
+
+def diagnose_request_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`diagnose_request_to_dict`."""
+    from repro.serve.api import DiagnoseRequest
+
+    check_schema(data, "diagnose_request")
+    patterns = data.get("patterns")
+    return DiagnoseRequest(
+        circuit=data["circuit"],
+        responses=tuple(data["responses"]),
+        patterns=tuple(patterns) if patterns is not None else None,
+        patterns_ref=data.get("patterns_ref"),
+        scale=data.get("scale", 1.0),
+        method=data.get("method", "dictionary"),
+        top_k=data.get("top_k", 10),
+        timeout_ms=data.get("timeout_ms"),
+    )
+
+
+def diagnose_response_to_dict(response) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.DiagnoseResponse` as the ``POST
+    /diagnose`` reply.  ``result`` is a full ``diagnosis_result``
+    payload with ``timings`` normalised to ``{}`` so the body is a
+    deterministic function of the fail log — byte-identical to a local
+    :meth:`~repro.flow.session.Session.diagnose` of the same log."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "diagnose_response",
+        "result": response.result,
+        "patterns_ref": response.patterns_ref,
+        "batched": response.batched,
+        "batch_size": response.batch_size,
+        "seconds": response.seconds,
+    }
+
+
+def diagnose_response_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`diagnose_response_to_dict` (the embedded
+    ``diagnosis_result`` payload is schema-checked too)."""
+    from repro.serve.api import DiagnoseResponse
+
+    check_schema(data, "diagnose_response")
+    check_schema(data["result"], "diagnosis_result")
+    return DiagnoseResponse(
+        result=data["result"],
+        patterns_ref=data["patterns_ref"],
+        batched=data["batched"],
+        batch_size=data["batch_size"],
+        seconds=data["seconds"],
+    )
+
+
+def atpg_request_to_dict(request) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.AtpgRequest` as the ``POST /atpg``
+    body."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "atpg_request",
+        "circuit": request.circuit,
+        "scale": request.scale,
+        "seed": request.seed,
+        "max_random_patterns": request.max_random_patterns,
+        "backtrack_limit": request.backtrack_limit,
+        "engine": request.engine,
+        "timeout_ms": request.timeout_ms,
+    }
+
+
+def atpg_request_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`atpg_request_to_dict`."""
+    from repro.serve.api import AtpgRequest
+
+    check_schema(data, "atpg_request")
+    return AtpgRequest(
+        circuit=data["circuit"],
+        scale=data.get("scale", 1.0),
+        seed=data.get("seed", 2001),
+        max_random_patterns=data.get("max_random_patterns", 4096),
+        backtrack_limit=data.get("backtrack_limit", 250),
+        engine=data.get("engine", "batch"),
+        timeout_ms=data.get("timeout_ms"),
+    )
+
+
+def atpg_response_to_dict(response) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.AtpgResponse` as the ``POST /atpg``
+    reply (``result`` is a full ``atpg_result`` payload)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "atpg_response",
+        "result": response.result,
+        "from_memo": response.from_memo,
+        "seconds": response.seconds,
+    }
+
+
+def atpg_response_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`atpg_response_to_dict`."""
+    from repro.serve.api import AtpgResponse
+
+    check_schema(data, "atpg_response")
+    check_schema(data["result"], "atpg_result")
+    return AtpgResponse(
+        result=data["result"],
+        from_memo=data["from_memo"],
+        seconds=data["seconds"],
+    )
+
+
+def sweep_request_to_dict(request) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.SweepRequest` as the ``POST /sweep``
+    body."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "sweep_request",
+        "circuits": list(request.circuits),
+        "tpgs": list(request.tpgs),
+        "evolution_lengths": list(request.evolution_lengths),
+        "scale": request.scale,
+        "seed": request.seed,
+        "timeout_ms": request.timeout_ms,
+    }
+
+
+def sweep_request_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`sweep_request_to_dict`."""
+    from repro.serve.api import SweepRequest
+
+    check_schema(data, "sweep_request")
+    return SweepRequest(
+        circuits=tuple(data["circuits"]),
+        tpgs=tuple(data.get("tpgs", ("adder",))),
+        evolution_lengths=tuple(data.get("evolution_lengths", (32,))),
+        scale=data.get("scale", 1.0),
+        seed=data.get("seed", 2001),
+        timeout_ms=data.get("timeout_ms"),
+    )
+
+
+def sweep_response_to_dict(response) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.SweepResponse` as the ``POST /sweep``
+    reply (cells in deterministic grid order, like ``repro sweep
+    --json``)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "sweep_response",
+        "cells": [dict(cell) for cell in response.cells],
+        "n_cached": response.n_cached,
+        "seconds": response.seconds,
+    }
+
+
+def sweep_response_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`sweep_response_to_dict`."""
+    from repro.serve.api import SweepResponse
+
+    check_schema(data, "sweep_response")
+    return SweepResponse(
+        cells=tuple(dict(cell) for cell in data["cells"]),
+        n_cached=data["n_cached"],
+        seconds=data["seconds"],
+    )
+
+
+def serve_stats_to_dict(stats: dict[str, Any]) -> dict[str, Any]:
+    """The ``GET /stats`` body: a free-form counters document under a
+    schema-stamped envelope."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "serve_stats",
+        "stats": stats,
+    }
+
+
+def serve_stats_from_dict(data: dict[str, Any]) -> dict[str, Any]:
+    """Inverse of :func:`serve_stats_to_dict` (returns the inner
+    counters document)."""
+    check_schema(data, "serve_stats")
+    return dict(data["stats"])
+
+
+def serve_error_to_dict(error) -> dict[str, Any]:
+    """A :class:`~repro.serve.api.ServeError` as any non-2xx reply
+    body."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "serve_error",
+        "error": error.error,
+        "status": error.status,
+        "retry_after": error.retry_after,
+    }
+
+
+def serve_error_from_dict(data: dict[str, Any]):
+    """Inverse of :func:`serve_error_to_dict`."""
+    from repro.serve.api import ServeError
+
+    check_schema(data, "serve_error")
+    return ServeError(
+        error=data["error"],
+        status=data["status"],
+        retry_after=data.get("retry_after"),
+    )
+
+
 def to_json(payload: dict[str, Any], indent: int | None = None) -> str:
     """Render a serialised payload as JSON text."""
     return json.dumps(payload, indent=indent, sort_keys=False)

@@ -20,7 +20,9 @@ schema or key mismatches degrade to recomputation, never wrong answers.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,21 +43,57 @@ from repro.tpg.base import TestPatternGenerator
 from repro.tpg.registry import make_tpg
 
 
+#: Process-global temp-file sequence: cache *instances* in one process
+#: share a pid, so per-instance counters would collide on the same name.
+_TMP_SEQ = itertools.count()
+
+
 class ArtifactCache:
     """A content-keyed, schema-versioned, on-disk artefact store.
 
     Entries are JSON files named by the SHA-256 of their canonicalised
     key fields.  ``get`` returns ``None`` (and counts a miss) for
     absent, unreadable, or schema-mismatched entries, so a stale cache
-    directory is always safe to keep around.
+    directory is always safe to keep around.  Undecodable entries — a
+    reader racing a writer's atomic replace, a killed process, disk
+    corruption — additionally count as *corrupt* (``stats()["corrupt"]``)
+    so operators can tell schema skew from rot.
+
+    Writes are atomic (unique temp file + ``os.replace``); a failed
+    write removes its temp file, and any stale ``*.tmp`` debris left by
+    killed processes is swept when the cache is opened.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    #: ``*.tmp`` files older than this (seconds) are removed at open —
+    #: young ones may belong to a live writer on another worker.
+    STALE_TMP_AGE_S = 3600.0
+
+    def __init__(
+        self, root: str | Path, *, stale_tmp_age: float | None = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         self._by_kind: dict[str, dict[str, int]] = {}
+        self.stale_tmp_age = (
+            self.STALE_TMP_AGE_S if stale_tmp_age is None else stale_tmp_age
+        )
+        self.swept_tmp = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove orphaned ``*.tmp`` files (crashed/killed writers)."""
+        swept = 0
+        now = time.time()
+        for tmp in self.root.glob("**/*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime >= self.stale_tmp_age:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                continue  # another sweeper won the race
+        return swept
 
     @staticmethod
     def key(kind: str, **fields: Any) -> str:
@@ -68,22 +106,45 @@ class ArtifactCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def _count(self, kind: str, hit: bool) -> None:
-        bucket = self._by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+    def _count(self, kind: str, hit: bool, corrupt: bool = False) -> None:
+        bucket = self._by_kind.setdefault(
+            kind, {"hits": 0, "misses": 0, "corrupt": 0}
+        )
+        bucket.setdefault("corrupt", 0)
         if hit:
             self.hits += 1
             bucket["hits"] += 1
         else:
             self.misses += 1
             bucket["misses"] += 1
+            if corrupt:
+                self.corrupt += 1
+                bucket["corrupt"] += 1
 
     def get(self, key: str, kind: str) -> dict[str, Any] | None:
-        """The payload stored under ``key``, or ``None`` on any miss."""
+        """The payload stored under ``key``, or ``None`` on any miss.
+
+        An entry that exists but cannot be decoded as a JSON object —
+        truncated by a killed writer, garbled on disk, or a non-dict
+        document — is a *corrupt* miss: counted separately, never an
+        exception, so one bad entry cannot take down a reader.
+        """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
             self._count(kind, hit=False)
+            return None
+        except OSError:
+            self._count(kind, hit=False, corrupt=True)
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self._count(kind, hit=False, corrupt=True)
+            return None
+        if not isinstance(payload, dict):
+            self._count(kind, hit=False, corrupt=True)
             return None
         from repro.flow.serialize import check_schema
 
@@ -95,12 +156,34 @@ class ArtifactCache:
         self._count(kind, hit=True)
         return payload
 
+    def _tmp_path(self, path: Path) -> Path:
+        """A writer-unique temp name next to ``path`` (same filesystem,
+        so the final ``replace`` stays atomic; unique per process and
+        per write, so concurrent writers never clobber each other)."""
+        return path.with_name(
+            f"{path.name}.{os.getpid()}-{next(_TMP_SEQ)}.tmp"
+        )
+
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Persist ``payload`` (already schema-stamped) under ``key``."""
+        """Persist ``payload`` (already schema-stamped) under ``key``.
+
+        Readers never observe a partial entry: the payload lands in a
+        unique temp file first and is renamed into place atomically.
+        If anything fails between write and rename, the temp file is
+        removed instead of orphaned.
+        """
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_path(path)
+        try:
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def record(self, kind: str, hit: bool) -> None:
         """Fold an externally-observed hit/miss into the counters (used
@@ -116,11 +199,17 @@ class ArtifactCache:
         """Cache misses recorded for one artefact kind."""
         return self._by_kind.get(kind, {}).get("misses", 0)
 
+    def corrupt_for(self, kind: str) -> int:
+        """Corrupt (undecodable) entries encountered for one kind."""
+        return self._by_kind.get(kind, {}).get("corrupt", 0)
+
     def stats(self) -> dict[str, Any]:
         """Counters summary: totals plus a per-kind breakdown."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
+            "swept_tmp": self.swept_tmp,
             "by_kind": {k: dict(v) for k, v in self._by_kind.items()},
         }
 
@@ -184,6 +273,12 @@ class Session:
         #: Packed seed-bank evolutions memoized per cache key — every
         #: stage of every flow run through this session shares them.
         self._evolutions: dict[str, "PackedPatterns"] = {}
+        #: Fault dictionaries memoized per cache key, so a long-lived
+        #: session (the serve layer) pays the disk/JSON round trip once.
+        self._dictionaries: dict[str, Any] = {}
+        #: Fault-free responses memoized per packed-pattern digest —
+        #: every diagnosis of the same applied sequence shares them.
+        self._golden: dict[str, list] = {}
         if atpg_result is not None:
             self._atpg_results[self._atpg_knobs(self.config)] = atpg_result
         self._atpg_seconds = 0.0
@@ -280,6 +375,17 @@ class Session:
     def atpg_result(self) -> AtpgResult:
         """The circuit-level ATPG artefact (memory -> cache -> compute)."""
         return self._atpg_for(self.config)
+
+    def atpg_for(self, config: PipelineConfig | None = None) -> AtpgResult:
+        """The ATPG artefact for an explicit config (memory -> cache ->
+        compute) — the public per-knob-set accessor the serve layer's
+        ``POST /atpg`` endpoint drives."""
+        return self._atpg_for(config or self.config)
+
+    def has_atpg(self, config: PipelineConfig | None = None) -> bool:
+        """True when the ATPG artefact for ``config`` is already
+        memoized in this session (no cache or compute needed)."""
+        return self._atpg_knobs(config or self.config) in self._atpg_results
 
     def _atpg_for(self, config: PipelineConfig) -> AtpgResult:
         knobs = self._atpg_knobs(config)
@@ -482,16 +588,22 @@ class Session:
 
         packed = self.packed_patterns(patterns)
         faults = list(faults) if faults is not None else collapse_faults(self.circuit)
-        key = (
-            self._dictionary_key(packed, faults)
-            if self.cache is not None
-            else None
-        )
-        if key is not None:
+        key = self._dictionary_key(packed, faults)
+        memoized = self._dictionaries.get(key)
+        if memoized is not None:
+            if self.cache is not None:
+                # The memo is the in-process face of the same cache;
+                # reflect the hit so operators see warm traffic.
+                self.cache.record("fault_dictionary", hit=True)
+            self._emit(StageEvent("dictionary", "cache-hit"))
+            return memoized
+        if self.cache is not None:
             payload = self.cache.get(key, "fault_dictionary")
             if payload is not None:
                 self._emit(StageEvent("dictionary", "cache-hit"))
-                return fault_dictionary_from_dict(payload)
+                dictionary = fault_dictionary_from_dict(payload)
+                self._dictionaries[key] = dictionary
+                return dictionary
         start = time.perf_counter()
         dictionary = FaultDictionary.build(
             self.circuit, packed, faults, simulator=self.simulator
@@ -499,9 +611,22 @@ class Session:
         self._emit(
             StageEvent("dictionary", "done", time.perf_counter() - start)
         )
-        if key is not None:
+        self._dictionaries[key] = dictionary
+        if self.cache is not None:
             self.cache.put(key, dictionary.to_dict())
         return dictionary
+
+    def golden_responses(self, patterns) -> list:
+        """Fault-free primary-output responses for a pattern sequence,
+        memoized per packed digest — every diagnosis of the same applied
+        sequence (the serve layer's common case) shares one simulation."""
+        packed = self.packed_patterns(patterns)
+        key = self._packed_digest(packed)
+        golden = self._golden.get(key)
+        if golden is None:
+            golden = self.simulator.compiled.simulate_patterns(packed)
+            self._golden[key] = golden
+        return golden
 
     def diagnose(
         self,
@@ -535,7 +660,7 @@ class Session:
             )
             packed = fail_log.packed(self.circuit.n_inputs)
             dictionary = self.fault_dictionary(packed, faults)
-            golden = self.simulator.compiled.simulate_patterns(packed)
+            golden = self.golden_responses(packed)
             flags = observed_fail_flags(golden, fail_log.responses)
             return dictionary.diagnose(flags, top_k=top_k)
         from repro.flow.stages import DiagnosisStage, StageContext
@@ -559,3 +684,81 @@ class Session:
         result = ctx.artifacts["diagnosis"]
         result.timings.setdefault("stage", ctx.timings.get("diagnosis", 0.0))
         return result
+
+    def diagnose_batch(
+        self,
+        fail_logs,
+        *,
+        method: str = "dictionary",
+        faults=None,
+        top_k: "int | list[int]" = 10,
+    ) -> list:
+        """Diagnose many fail logs in one pass — the serve layer's
+        request-batching primitive.
+
+        Logs applying the same pattern sequence (the tester-farm common
+        case: one BIST program, many failing dies) share one packed
+        form, one fault-free simulation and one
+        :class:`~repro.diagnosis.dictionary.FaultDictionary`, and their
+        fail flags are scored in a single vectorised lookup pass
+        (:meth:`~repro.diagnosis.dictionary.FaultDictionary.
+        diagnose_many`) instead of N serial ones.  Results are
+        per-log **identical** to :meth:`diagnose` — batching is a
+        throughput trick, never a semantics change.  Non-dictionary
+        methods degrade to per-log :meth:`diagnose` calls.
+
+        ``top_k`` may be one int for the whole batch or one per log.
+        """
+        import numpy as np
+
+        from repro.diagnosis.effect_cause import observed_fail_flags
+        from repro.faults.collapse import collapse_faults
+
+        fail_logs = list(fail_logs)
+        top_ks = (
+            list(top_k)
+            if isinstance(top_k, (list, tuple))
+            else [top_k] * len(fail_logs)
+        )
+        if len(top_ks) != len(fail_logs):
+            raise ValueError(
+                f"{len(top_ks)} top_k values for {len(fail_logs)} fail logs"
+            )
+        if method != "dictionary":
+            return [
+                self.diagnose(log, method=method, faults=faults, top_k=k)
+                for log, k in zip(fail_logs, top_ks)
+            ]
+        faults = (
+            list(faults) if faults is not None else collapse_faults(self.circuit)
+        )
+        # Group logs by their packed-pattern digest; each group pays for
+        # packing, golden simulation and the dictionary exactly once.
+        groups: dict[str, list[int]] = {}
+        digests: list[str] = []
+        for index, log in enumerate(fail_logs):
+            packed = log.packed(self.circuit.n_inputs)
+            digest = self._packed_digest(packed)
+            digests.append(digest)
+            groups.setdefault(digest, []).append(index)
+        results: list = [None] * len(fail_logs)
+        for digest, members in groups.items():
+            packed = fail_logs[members[0]].packed(self.circuit.n_inputs)
+            dictionary = self.fault_dictionary(packed, faults)
+            golden = self._golden.get(digest)
+            if golden is None:
+                golden = self.simulator.compiled.simulate_patterns(packed)
+                self._golden[digest] = golden
+            flags = np.stack(
+                [
+                    observed_fail_flags(golden, fail_logs[i].responses)
+                    for i in members
+                ],
+                axis=1,
+            )
+            ranked = dictionary.diagnose_many(
+                flags, top_k=[top_ks[i] for i in members]
+            )
+            for i, result in zip(members, ranked):
+                results[i] = result
+        return results

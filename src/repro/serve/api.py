@@ -1,0 +1,271 @@
+"""Typed request/response bodies of the ``repro serve`` HTTP API.
+
+Every body crossing the wire is one of these dataclasses, serialised
+through the schema-versioned :mod:`repro.flow.serialize` layer (kinds
+``diagnose_request``/``diagnose_response``, ``atpg_request``/
+``atpg_response``, ``sweep_request``/``sweep_response``,
+``pattern_set``, ``serve_stats``, ``serve_error``) — the same
+envelope-and-check discipline the artifact cache uses, so version skew
+between clients and servers is rejected up front, never mis-decoded.
+
+:class:`PatternSet` is the shared-workload primitive: a tester farm
+applies **one** BIST pattern sequence to many dies, so a client uploads
+the sequence once (inline ``patterns`` on the first request), receives
+its content-addressed ``patterns_ref`` back, and every subsequent fail
+log ships only the observed responses.  Refs are stable across workers
+and machines — they key the :class:`~repro.serve.store.
+SharedArtifactStore` entry other workers load instead of re-parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.bitvec import BitVector
+
+#: Diagnosis engines the /diagnose endpoint accepts.  ``dictionary`` is
+#: the production default and the only method the micro-batcher fuses
+#: across requests; the others run per-request on the same worker.
+DIAGNOSE_METHODS = ("dictionary", "effect_cause", "signature", "multiplet")
+
+
+@dataclass(frozen=True)
+class PatternSet:
+    """One applied BIST pattern sequence, shareable across requests."""
+
+    circuit_name: str
+    width: int
+    patterns: tuple[BitVector, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``pattern_set`` kind)."""
+        from repro.flow.serialize import pattern_set_to_dict
+
+        return pattern_set_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PatternSet":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import pattern_set_from_dict
+
+        return pattern_set_from_dict(data)
+
+
+@dataclass(frozen=True)
+class DiagnoseRequest:
+    """``POST /diagnose``: one captured fail log to be diagnosed.
+
+    Exactly one of ``patterns`` (inline bit-strings, registered
+    server-side and echoed back as ``patterns_ref``) or ``patterns_ref``
+    (a ref from a previous response) identifies the applied sequence;
+    ``responses`` is the per-pattern observed primary-output vector.
+    """
+
+    circuit: str
+    responses: tuple[str, ...]
+    patterns: tuple[str, ...] | None = None
+    patterns_ref: str | None = None
+    scale: float = 1.0
+    method: str = "dictionary"
+    top_k: int = 10
+    timeout_ms: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``diagnose_request`` kind)."""
+        from repro.flow.serialize import diagnose_request_to_dict
+
+        return diagnose_request_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DiagnoseRequest":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import diagnose_request_from_dict
+
+        return diagnose_request_from_dict(data)
+
+
+@dataclass(frozen=True)
+class DiagnoseResponse:
+    """``POST /diagnose`` reply.
+
+    ``result`` is a full ``diagnosis_result`` payload with ``timings``
+    normalised to ``{}``, which makes the body a deterministic function
+    of the fail log: byte-identical to serialising a local
+    :meth:`~repro.flow.session.Session.diagnose` of the same log.
+    ``batched``/``batch_size`` record how the micro-batcher served it.
+    """
+
+    result: dict[str, Any]
+    patterns_ref: str
+    batched: bool
+    batch_size: int
+    seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``diagnose_response`` kind)."""
+        from repro.flow.serialize import diagnose_response_to_dict
+
+        return diagnose_response_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DiagnoseResponse":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import diagnose_response_from_dict
+
+        return diagnose_response_from_dict(data)
+
+
+@dataclass(frozen=True)
+class AtpgRequest:
+    """``POST /atpg``: run (or reuse) the ATPG substrate for a circuit."""
+
+    circuit: str
+    scale: float = 1.0
+    seed: int = 2001
+    max_random_patterns: int = 4096
+    backtrack_limit: int = 250
+    engine: str = "batch"
+    timeout_ms: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``atpg_request`` kind)."""
+        from repro.flow.serialize import atpg_request_to_dict
+
+        return atpg_request_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AtpgRequest":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import atpg_request_from_dict
+
+        return atpg_request_from_dict(data)
+
+
+@dataclass(frozen=True)
+class AtpgResponse:
+    """``POST /atpg`` reply: a full ``atpg_result`` payload plus
+    provenance (``from_memo``: served from the session's in-process
+    memo rather than computed or loaded for this request)."""
+
+    result: dict[str, Any]
+    from_memo: bool
+    seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``atpg_response`` kind)."""
+        from repro.flow.serialize import atpg_response_to_dict
+
+        return atpg_response_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AtpgResponse":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import atpg_response_from_dict
+
+        return atpg_response_from_dict(data)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """``POST /sweep``: a circuits x TPGs x evolution-lengths grid."""
+
+    circuits: tuple[str, ...]
+    tpgs: tuple[str, ...] = ("adder",)
+    evolution_lengths: tuple[int, ...] = (32,)
+    scale: float = 1.0
+    seed: int = 2001
+    timeout_ms: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``sweep_request`` kind)."""
+        from repro.flow.serialize import sweep_request_to_dict
+
+        return sweep_request_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepRequest":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import sweep_request_from_dict
+
+        return sweep_request_from_dict(data)
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    """``POST /sweep`` reply: grid cells in deterministic order (the
+    ``repro sweep --json`` cell vocabulary)."""
+
+    cells: tuple[dict[str, Any], ...]
+    n_cached: int
+    seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``sweep_response`` kind)."""
+        from repro.flow.serialize import sweep_response_to_dict
+
+        return sweep_response_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepResponse":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import sweep_response_from_dict
+
+        return sweep_response_from_dict(data)
+
+
+@dataclass(frozen=True)
+class ServeError:
+    """Any non-2xx reply body: what went wrong, the HTTP status, and —
+    for 429 load shedding — how long to back off (seconds)."""
+
+    error: str
+    status: int
+    retry_after: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stamped plain-dict form (``serve_error`` kind)."""
+        from repro.flow.serialize import serve_error_to_dict
+
+        return serve_error_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServeError":
+        """Inverse of :meth:`to_dict`."""
+        from repro.flow.serialize import serve_error_from_dict
+
+        return serve_error_from_dict(data)
+
+
+@dataclass
+class RequestValidationError(ValueError):
+    """A request body parsed as JSON but violates the API contract."""
+
+    message: str = field(default="invalid request")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.message
+
+
+def validate_diagnose_request(request: DiagnoseRequest) -> None:
+    """Reject contract violations before any compute is queued."""
+    if request.method not in DIAGNOSE_METHODS:
+        raise RequestValidationError(
+            f"unknown method {request.method!r}; expected one of "
+            f"{', '.join(DIAGNOSE_METHODS)}"
+        )
+    if request.patterns is None and request.patterns_ref is None:
+        raise RequestValidationError(
+            "one of 'patterns' or 'patterns_ref' is required"
+        )
+    if not request.responses:
+        raise RequestValidationError("'responses' must be non-empty")
+    if request.patterns is not None and len(request.patterns) != len(
+        request.responses
+    ):
+        raise RequestValidationError(
+            f"{len(request.patterns)} patterns but "
+            f"{len(request.responses)} responses"
+        )
+    if request.top_k < 1:
+        raise RequestValidationError("'top_k' must be >= 1")

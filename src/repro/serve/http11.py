@@ -1,0 +1,149 @@
+"""Minimal asyncio HTTP/1.1 framing for the serve subsystem.
+
+The service speaks plain HTTP/1.1 with JSON bodies and needs nothing a
+framework provides — no routing DSL, no middleware, no TLS — so this
+module implements exactly the framing the server and the stdlib-based
+clients exchange: request-line + headers + ``Content-Length`` bodies in,
+status-line + headers + body out, with keep-alive connection reuse.
+Keeping it ~150 lines of stdlib ``asyncio`` honours the repo's no-new-
+hard-deps constraint and keeps the hot accept path transparent enough
+to profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import asyncio
+
+#: Upper bound on one request body (a 64k-pattern fail log for a wide
+#: circuit is ~a few MB; anything near this bound is abuse, not load).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Upper bound on the accumulated header block.
+MAX_HEADER_BYTES = 64 * 1024
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or unserviceable request, mapped to an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, target path, headers (lower-cased
+    names), raw body bytes."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 defaults to persistent connections; ``Connection:
+        close`` (or an HTTP/1.0 peer without ``keep-alive``) opts out."""
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Read one request off the stream; ``None`` on a clean EOF (the
+    peer closed between requests), :class:`HttpError` on bad framing."""
+    try:
+        line = await reader.readline()
+    except (ValueError, ConnectionError):
+        raise HttpError(431, "request line too long")
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("ascii").split()
+    except ValueError:
+        raise HttpError(400, f"malformed request line {line[:120]!r}")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            raw = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(431, "header line too long")
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            return None  # EOF mid-headers: treat as a dropped peer
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, "header block too large")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header {raw[:120]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_text!r}")
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None  # peer died mid-body
+    elif method == "POST":
+        raise HttpError(411, "POST requires Content-Length")
+    return HttpRequest(method, target, version, headers, body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialise one response, ready for ``writer.write``."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body

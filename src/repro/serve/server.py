@@ -1,0 +1,562 @@
+"""The ``repro serve`` asyncio server: five endpoints, one batcher.
+
+Request path for the hot endpoint (``POST /diagnose``)::
+
+    connection task --> parse + validate (event loop, cheap)
+        --> MicroBatcher.submit (bounded queue, 429 on overflow)
+            --> window closes --> group by (circuit, scale, ref, method)
+                --> ThreadPoolExecutor(1): Session.diagnose_batch
+                    --> futures resolved --> responses written
+
+All compute runs on **one** worker thread: the engines underneath are
+word/fault/request-parallel (NumPy releases the GIL), so one thread
+saturates the math while the event loop stays free to accept, parse and
+batch the next wave — concurrency comes from batching, not from thread
+fan-out.  It also makes every :class:`~repro.flow.session.Session`
+single-threaded by construction, so the artefact memos need no locks.
+
+Scale-out is by process: run N servers pointing at one
+:class:`~repro.serve.store.SharedArtifactStore` directory and any
+worker reuses the ATPG artefacts, fault dictionaries and pattern sets
+its siblings already published.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.flow.serialize import (
+    SchemaMismatchError,
+    atpg_result_to_dict,
+    diagnosis_result_to_dict,
+    serve_stats_to_dict,
+    to_json,
+)
+from repro.flow.session import ArtifactCache, Session
+from repro.serve.api import (
+    AtpgRequest,
+    AtpgResponse,
+    DiagnoseRequest,
+    DiagnoseResponse,
+    PatternSet,
+    RequestValidationError,
+    ServeError,
+    SweepRequest,
+    SweepResponse,
+    validate_diagnose_request,
+)
+from repro.serve.batcher import (
+    BatcherClosedError,
+    DeadlineExceededError,
+    MicroBatcher,
+    PendingWork,
+    QueueFullError,
+)
+from repro.serve.http11 import HttpError, HttpRequest, read_request, response_bytes
+from repro.serve.store import SharedArtifactStore
+from repro.utils.bitvec import BitVector
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` needs to run one worker."""
+
+    host: str = "127.0.0.1"
+    port: int = 8731
+    #: How long the batcher holds the first request of a window, waiting
+    #: for companions to fuse with (0 disables batching).
+    batch_window_ms: float = 10.0
+    #: Most requests fused into one compute pass.
+    max_batch: int = 32
+    #: Bounded request queue; beyond this, shed with 429 + Retry-After.
+    max_queue: int = 256
+    #: Default per-request deadline (a request's ``timeout_ms`` wins).
+    timeout_ms: int = 30_000
+    #: Shared artifact store directory (None: no persistence).
+    store: str | Path | None = None
+    #: Worker identity in /stats (default: pid-<pid>).
+    worker_id: str | None = None
+
+
+@dataclass
+class _DiagnoseItem:
+    """One /diagnose request after loop-side resolution."""
+
+    request: DiagnoseRequest
+    pattern_set: PatternSet
+    ref: str
+
+
+@dataclass
+class _Outcome:
+    """What compute hands back for one request in a group."""
+
+    body: dict[str, Any] = field(default_factory=dict)
+
+
+class ReproServer:
+    """One serve worker: listener + batcher + compute thread + store."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.store: SharedArtifactStore | None = (
+            SharedArtifactStore(self.config.store, worker_id=self.config.worker_id)
+            if self.config.store is not None
+            else None
+        )
+        self.batcher = MicroBatcher(
+            process=self._process_group,
+            window_s=self.config.batch_window_ms / 1000.0,
+            max_batch=self.config.max_batch,
+            max_queue=self.config.max_queue,
+        )
+        #: Single compute thread: Sessions are confined to it (no locks)
+        #: and the vectorised engines saturate it; see the module note.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute"
+        )
+        self._sessions: dict[tuple[str, float], Session] = {}
+        self._pattern_sets: dict[str, PatternSet] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._started_monotonic: float | None = None
+        self._requests: dict[str, int] = {}
+        self._responses: dict[int, int] = {}
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the batcher worker."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._started_monotonic = time.monotonic()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish every accepted
+        request, flush responses, then stop compute.  Loss-free by
+        construction — the batcher's close() processes its whole queue
+        before returning, and connection tasks are awaited so every
+        computed response reaches its socket."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.close()
+        if self._conn_tasks:
+            await asyncio.wait(
+                self._conn_tasks, timeout=5.0, return_when=asyncio.ALL_COMPLETED
+            )
+        for task in list(self._conn_tasks):
+            task.cancel()
+        self._executor.shutdown(wait=True)
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until ``stop`` is set (by a signal handler), then drain."""
+        if self._server is None:
+            await self.start()
+        await stop.wait()
+        await self.shutdown()
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(
+                        response_bytes(
+                            exc.status,
+                            self._error_body(exc.status, exc.message),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    self._responses[exc.status] = self._responses.get(exc.status, 0) + 1
+                    break
+                if request is None:
+                    break
+                status, body, extra = await self._route(request)
+                keep = request.keep_alive and not self._draining
+                writer.write(
+                    response_bytes(status, body, keep_alive=keep, extra_headers=extra)
+                )
+                await writer.drain()
+                self._responses[status] = self._responses.get(status, 0) + 1
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # peer went away (or drain timed us out): nothing to save
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, tuple[tuple[str, str], ...]]:
+        path = request.target.split("?", 1)[0]
+        self._requests[path] = self._requests.get(path, 0) + 1
+        if request.method == "GET" and path == "/healthz":
+            body = json.dumps(
+                {"status": "draining" if self._draining else "ok"}
+            ).encode()
+            return 200, body, ()
+        if request.method == "GET" and path == "/stats":
+            body = to_json(serve_stats_to_dict(self.stats())).encode()
+            return 200, body, ()
+        handlers = {
+            "/diagnose": self._handle_diagnose,
+            "/atpg": self._handle_atpg,
+            "/sweep": self._handle_sweep,
+        }
+        handler = handlers.get(path)
+        if handler is None:
+            return 404, self._error_body(404, f"no such endpoint {path!r}"), ()
+        if request.method != "POST":
+            return (
+                405,
+                self._error_body(405, f"{path} accepts POST, not {request.method}"),
+                (),
+            )
+        try:
+            payload = json.loads(request.body)
+        except ValueError as exc:
+            return 400, self._error_body(400, f"body is not JSON: {exc}"), ()
+        try:
+            return await handler(payload)
+        except (SchemaMismatchError, RequestValidationError, KeyError, TypeError, ValueError) as exc:
+            return 400, self._error_body(400, f"invalid request: {exc}"), ()
+
+    def _error_body(
+        self, status: int, message: str, retry_after: float | None = None
+    ) -> bytes:
+        error = ServeError(error=message, status=status, retry_after=retry_after)
+        return to_json(error.to_dict()).encode()
+
+    async def _submit_and_wait(
+        self, kind: str, group_key: Any, payload: Any, timeout_ms: int | None
+    ) -> tuple[int, bytes, tuple[tuple[str, str], ...]]:
+        """Queue one request on the batcher and await its outcome,
+        mapping the failure modes onto HTTP statuses."""
+        loop = asyncio.get_running_loop()
+        timeout_s = (timeout_ms or self.config.timeout_ms) / 1000.0
+        work = PendingWork(
+            kind=kind,
+            group_key=group_key,
+            payload=payload,
+            future=loop.create_future(),
+            enqueued=loop.time(),
+            deadline=loop.time() + timeout_s,
+        )
+        try:
+            self.batcher.submit(work)
+        except QueueFullError as exc:
+            retry = max(1, round(self.config.batch_window_ms / 1000.0 * 2) or 1)
+            return (
+                429,
+                self._error_body(429, str(exc), retry_after=float(retry)),
+                (("Retry-After", str(retry)),),
+            )
+        except BatcherClosedError as exc:
+            return 503, self._error_body(503, str(exc)), ()
+        try:
+            outcome: _Outcome = await asyncio.wait_for(work.future, timeout_s)
+        except (asyncio.TimeoutError, DeadlineExceededError):
+            return (
+                504,
+                self._error_body(504, f"deadline of {timeout_ms or self.config.timeout_ms} ms exceeded"),
+                (),
+            )
+        except RequestValidationError as exc:
+            return 400, self._error_body(400, str(exc)), ()
+        except Exception as exc:
+            return 500, self._error_body(500, f"{type(exc).__name__}: {exc}"), ()
+        return 200, to_json(outcome.body).encode(), ()
+
+    # -- endpoint handlers -------------------------------------------------
+
+    async def _handle_diagnose(self, payload: dict[str, Any]):
+        request = DiagnoseRequest.from_dict(payload)
+        validate_diagnose_request(request)
+        pattern_set, ref = self._resolve_pattern_set(request)
+        if pattern_set is None:
+            return (
+                400,
+                self._error_body(
+                    400,
+                    f"unknown patterns_ref {request.patterns_ref!r}; upload the "
+                    "pattern sequence inline once to register it",
+                ),
+                (),
+            )
+        # Only dictionary lookups fuse across requests (one matmul pass
+        # scores the whole group); other methods run solo.
+        group_key: Any = (
+            ("diagnose", request.circuit, request.scale, ref, request.method)
+            if request.method == "dictionary"
+            else object()
+        )
+        item = _DiagnoseItem(request=request, pattern_set=pattern_set, ref=ref)
+        return await self._submit_and_wait(
+            "diagnose", group_key, item, request.timeout_ms
+        )
+
+    async def _handle_atpg(self, payload: dict[str, Any]):
+        request = AtpgRequest.from_dict(payload)
+        return await self._submit_and_wait("atpg", object(), request, request.timeout_ms)
+
+    async def _handle_sweep(self, payload: dict[str, Any]):
+        request = SweepRequest.from_dict(payload)
+        if not request.circuits:
+            raise RequestValidationError("'circuits' must be non-empty")
+        return await self._submit_and_wait("sweep", object(), request, request.timeout_ms)
+
+    # -- pattern-set registry ----------------------------------------------
+
+    def _resolve_pattern_set(
+        self, request: DiagnoseRequest
+    ) -> tuple[PatternSet | None, str]:
+        """Inline patterns register (and persist) a shared
+        :class:`PatternSet`; a ``patterns_ref`` resolves memory first,
+        then the shared store (another worker may have published it)."""
+        if request.patterns is not None:
+            width = len(request.patterns[0])
+            if any(len(p) != width for p in request.patterns):
+                raise RequestValidationError("patterns have mixed widths")
+            digest = hashlib.sha256(
+                "\n".join(request.patterns).encode()
+            ).hexdigest()
+            ref = ArtifactCache.key(
+                "pattern_set",
+                circuit=request.circuit,
+                width=width,
+                digest=digest,
+            )
+            if ref not in self._pattern_sets:
+                pattern_set = PatternSet(
+                    circuit_name=request.circuit,
+                    width=width,
+                    patterns=tuple(
+                        BitVector.from_string(p) for p in request.patterns
+                    ),
+                )
+                self._pattern_sets[ref] = pattern_set
+                if self.store is not None:
+                    self.store.put(ref, pattern_set.to_dict())
+            return self._pattern_sets[ref], ref
+        ref = request.patterns_ref or ""
+        pattern_set = self._pattern_sets.get(ref)
+        if pattern_set is None and self.store is not None:
+            payload = self.store.get(ref, "pattern_set")
+            if payload is not None:
+                pattern_set = PatternSet.from_dict(payload)
+                self._pattern_sets[ref] = pattern_set
+        return pattern_set, ref
+
+    # -- compute (runs on the single executor thread) ----------------------
+
+    def _session(self, circuit: str, scale: float) -> Session:
+        """The per-(circuit, scale) Session, built once, store-backed.
+        Compute-thread only: loading a netlist is real work."""
+        key = (circuit, scale)
+        session = self._sessions.get(key)
+        if session is None:
+            session = Session.from_name(circuit, scale=scale, cache=self.store)
+            self._sessions[key] = session
+        return session
+
+    async def _process_group(self, group: list[PendingWork]) -> None:
+        """Batcher callback: one fused group to the compute thread."""
+        loop = asyncio.get_running_loop()
+        kind = group[0].kind
+        compute = {
+            "diagnose": self._compute_diagnose,
+            "atpg": self._compute_atpg,
+            "sweep": self._compute_sweep,
+        }[kind]
+        outcomes = await loop.run_in_executor(
+            self._executor, compute, [work.payload for work in group]
+        )
+        for work, outcome in zip(group, outcomes):
+            if not work.future.done():
+                work.future.set_result(outcome)
+
+    def _compute_diagnose(self, items: list[_DiagnoseItem]) -> list[_Outcome]:
+        from repro.diagnosis.inject import FailLog
+
+        start = time.perf_counter()
+        first = items[0].request
+        session = self._session(first.circuit, first.scale)
+        n_outputs = session.circuit.n_outputs
+        packed_by_ref: dict[str, Any] = {}
+        logs = []
+        for item in items:
+            if item.pattern_set.width != session.circuit.n_inputs:
+                raise RequestValidationError(
+                    f"patterns are {item.pattern_set.width} bits wide, circuit "
+                    f"{first.circuit!r} has {session.circuit.n_inputs} inputs"
+                )
+            if any(len(r) != n_outputs for r in item.request.responses):
+                raise RequestValidationError(
+                    f"responses must be {n_outputs} bits wide for {first.circuit!r}"
+                )
+            if len(item.request.responses) != len(item.pattern_set.patterns):
+                raise RequestValidationError(
+                    f"{len(item.request.responses)} responses for "
+                    f"{len(item.pattern_set.patterns)} patterns"
+                )
+            log = FailLog(
+                circuit_name=session.circuit.name,
+                patterns=list(item.pattern_set.patterns),
+                responses=[
+                    BitVector.from_string(r) for r in item.request.responses
+                ],
+            )
+            packed = packed_by_ref.get(item.ref)
+            if packed is None:
+                packed = session.packed_patterns(log.patterns)
+                packed_by_ref[item.ref] = packed
+            logs.append(log.attach_packed(packed))
+        results = session.diagnose_batch(
+            logs,
+            method=first.method,
+            top_k=[item.request.top_k for item in items],
+        )
+        seconds = round(time.perf_counter() - start, 6)
+        outcomes = []
+        for item, result in zip(items, results):
+            result_payload = diagnosis_result_to_dict(result)
+            # Deterministic body: identical to a local Session.diagnose.
+            result_payload["timings"] = {}
+            response = DiagnoseResponse(
+                result=result_payload,
+                patterns_ref=item.ref,
+                batched=len(items) > 1,
+                batch_size=len(items),
+                seconds=seconds,
+            )
+            outcomes.append(_Outcome(body=response.to_dict()))
+        return outcomes
+
+    def _compute_atpg(self, items: list[AtpgRequest]) -> list[_Outcome]:
+        outcomes = []
+        for request in items:
+            start = time.perf_counter()
+            session = self._session(request.circuit, request.scale)
+            config = replace(
+                session.config,
+                seed=request.seed,
+                max_random_patterns=request.max_random_patterns,
+                backtrack_limit=request.backtrack_limit,
+                atpg_engine=request.engine,
+            )
+            from_memo = session.has_atpg(config)
+            result = session.atpg_for(config)
+            response = AtpgResponse(
+                result=atpg_result_to_dict(result),
+                from_memo=from_memo,
+                seconds=round(time.perf_counter() - start, 6),
+            )
+            outcomes.append(_Outcome(body=response.to_dict()))
+        return outcomes
+
+    def _compute_sweep(self, items: list[SweepRequest]) -> list[_Outcome]:
+        from repro.flow.pipeline import PipelineConfig
+        from repro.flow.sweep import sweep
+
+        outcomes = []
+        for request in items:
+            start = time.perf_counter()
+            sessions = {
+                name: self._session(name, request.scale)
+                for name in request.circuits
+            }
+            grid = sweep(
+                list(request.circuits),
+                list(request.tpgs),
+                base_config=PipelineConfig(seed=request.seed),
+                evolution_lengths=list(request.evolution_lengths),
+                scale=request.scale,
+                sessions=sessions,
+                cache=self.store,
+            )
+            cells = tuple(
+                {
+                    "circuit": o.circuit,
+                    "tpg": o.tpg,
+                    "evolution_length": o.config.evolution_length,
+                    "n_triplets": o.result.n_triplets,
+                    "test_length": o.result.test_length,
+                    "n_necessary": o.result.n_necessary,
+                    "n_from_solver": o.result.n_from_solver,
+                    "from_cache": o.from_cache,
+                    "seconds": round(o.seconds, 4),
+                }
+                for o in grid
+            )
+            response = SweepResponse(
+                cells=cells,
+                n_cached=grid.n_cached,
+                seconds=round(time.perf_counter() - start, 6),
+            )
+            outcomes.append(_Outcome(body=response.to_dict()))
+        return outcomes
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /stats`` counters document."""
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        return {
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "uptime_s": round(uptime, 3),
+                "draining": self._draining,
+                "open_connections": len(self._conn_tasks),
+                "batch_window_ms": self.config.batch_window_ms,
+                "max_batch": self.config.max_batch,
+                "max_queue": self.config.max_queue,
+            },
+            "requests": dict(sorted(self._requests.items())),
+            "responses": {
+                str(status): count
+                for status, count in sorted(self._responses.items())
+            },
+            "batcher": self.batcher.stats.as_dict(),
+            "sessions": sorted(
+                f"{name}@{scale:g}" for name, scale in self._sessions
+            ),
+            "pattern_sets": len(self._pattern_sets),
+            "store": self.store.stats() if self.store is not None else None,
+        }

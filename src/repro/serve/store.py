@@ -1,0 +1,82 @@
+"""A content-addressed artifact store safe for N workers on M machines.
+
+:class:`SharedArtifactStore` promotes the per-process
+:class:`~repro.flow.session.ArtifactCache` to shared infrastructure:
+one directory tree that any number of serve workers (and batch sweeps,
+and CLI runs) mount read-write **concurrently**, with no locks:
+
+* **content-addressed, sharded layout** — entries live under
+  ``objects/<first two key hex digits>/<key>.json`` so a production
+  store with millions of artefacts never melts one directory's inode
+  listing;
+* **atomic publication** — writers stage into a writer-unique ``*.tmp``
+  file and ``os.replace`` it into place (inherited from
+  :class:`~repro.flow.session.ArtifactCache`), so readers only ever see
+  absent or complete entries.  Two workers racing to publish the same
+  key both succeed; last rename wins and both files carried identical
+  content (keys are content-derived);
+* **lock-free readers with corrupt-entry tolerance** — a reader that
+  catches an entry mid-corruption (killed writer on a non-atomic
+  filesystem, bit rot) records a *corrupt miss* and recomputes, it
+  never raises;
+* **self-healing debris** — stale ``*.tmp`` files from killed writers
+  are swept at open (age-gated, so a live writer on another worker is
+  never disturbed);
+* **per-worker counters** — every worker tags its own hit/miss/corrupt
+  counters with a ``worker_id``, surfaced through the serve layer's
+  ``GET /stats``, so farm operators can see which workers run cold.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.flow.session import ArtifactCache
+
+
+class SharedArtifactStore(ArtifactCache):
+    """An :class:`~repro.flow.session.ArtifactCache` with a sharded,
+    multi-worker directory layout and per-worker stats.
+
+    Drop-in wherever a cache is accepted — a
+    :class:`~repro.flow.session.Session` constructed with one persists
+    ATPG results, fault dictionaries and packed evolutions straight
+    into the shared tree::
+
+        store = SharedArtifactStore("/mnt/bist-artifacts")
+        session = Session.from_name("c880", cache=store)
+    """
+
+    #: Directory (under the root) holding the sharded object tree.
+    OBJECTS_DIR = "objects"
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        worker_id: str | None = None,
+        stale_tmp_age: float | None = None,
+    ) -> None:
+        self.worker_id = worker_id or f"pid-{os.getpid()}"
+        super().__init__(root, stale_tmp_age=stale_tmp_age)
+        (self.root / self.OBJECTS_DIR).mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        """Sharded object path: ``objects/ab/<key>.json``."""
+        shard = key[:2] if len(key) >= 2 else "00"
+        return self.root / self.OBJECTS_DIR / shard / f"{key}.json"
+
+    def n_entries(self) -> int:
+        """Number of published entries (a walk — diagnostics only)."""
+        objects = self.root / self.OBJECTS_DIR
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+    def stats(self) -> dict[str, Any]:
+        """Per-worker counters summary (extends the base stats with the
+        worker identity and the store layout)."""
+        stats = super().stats()
+        stats["worker_id"] = self.worker_id
+        stats["root"] = str(self.root)
+        return stats

@@ -463,3 +463,141 @@ class TestFlowIntegration:
         assert session.cache.misses_for("fault_dictionary") == 1
         session.diagnose(log, method="dictionary", faults=faults)
         assert session.cache.hits_for("fault_dictionary") == 1
+
+
+# ----------------------------------------------------------------------
+# vectorised multi-log lookup (the serve layer's batching primitive)
+# ----------------------------------------------------------------------
+
+
+class TestDiagnoseMany:
+    def _logs(self, circuit, n_logs, *names):
+        patterns = _random_patterns(circuit, 32, *names)
+        faults = collapse_faults(circuit)
+        simulator = BatchFaultSimulator(circuit)
+        detected = simulator.detected(patterns, faults)
+        detectable = [f for f, flag in zip(faults, detected) if flag]
+        assert len(detectable) >= n_logs
+        logs = [
+            make_fail_log(circuit, patterns, fault, simulator.compiled)
+            for fault in detectable[:n_logs]
+        ]
+        return patterns, faults, simulator, logs
+
+    def test_matches_serial_diagnose_per_log(self, c17):
+        patterns, faults, simulator, logs = self._logs(c17, 6, "many")
+        dictionary = FaultDictionary.build(c17, patterns, faults)
+        golden = simulator.compiled.simulate_patterns(patterns)
+        flags = np.stack(
+            [observed_fail_flags(golden, log.responses) for log in logs],
+            axis=1,
+        )
+        batched = dictionary.diagnose_many(flags, top_k=4)
+        serial = [
+            dictionary.diagnose(flags[:, i], top_k=4)
+            for i in range(len(logs))
+        ]
+        assert len(batched) == len(serial)
+        for got, want in zip(batched, serial):
+            assert got.to_dict() == want.to_dict()
+
+    def test_single_column_matches_diagnose(self, c17):
+        patterns, faults, simulator, logs = self._logs(c17, 1, "one")
+        dictionary = FaultDictionary.build(c17, patterns, faults)
+        golden = simulator.compiled.simulate_patterns(patterns)
+        flags = observed_fail_flags(golden, logs[0].responses)
+        (batched,) = dictionary.diagnose_many(flags, top_k=3)
+        assert batched.to_dict() == dictionary.diagnose(flags, top_k=3).to_dict()
+
+    def test_per_log_top_k(self, c17):
+        patterns, faults, simulator, logs = self._logs(c17, 2, "topk")
+        dictionary = FaultDictionary.build(c17, patterns, faults)
+        golden = simulator.compiled.simulate_patterns(patterns)
+        flags = np.stack(
+            [observed_fail_flags(golden, log.responses) for log in logs],
+            axis=1,
+        )
+        first, second = dictionary.diagnose_many(flags, top_k=[2, 5])
+        assert len(first.candidates) == 2
+        assert len(second.candidates) == 5
+
+    def test_shape_validation(self, c17):
+        patterns = _random_patterns(c17, 8, "shape-many")
+        dictionary = FaultDictionary.build(c17, patterns)
+        with pytest.raises(ValueError):
+            dictionary.diagnose_many(
+                np.zeros((dictionary.n_patterns + 1, 2), dtype=bool)
+            )
+        with pytest.raises(ValueError):
+            dictionary.diagnose_many(
+                np.zeros((dictionary.n_patterns, 2), dtype=bool), top_k=[1]
+            )
+
+    def test_session_diagnose_batch_identical_to_serial(self, tmp_path):
+        from repro.flow.session import Session
+
+        session = Session.from_name("c17", cache=tmp_path)
+        circuit = session.circuit
+        patterns_a = _random_patterns(circuit, 24, "batch-a")
+        patterns_b = _random_patterns(circuit, 16, "batch-b")
+        faults = collapse_faults(circuit)
+        detected_a = session.simulator.detected(patterns_a, faults)
+        detected_b = session.simulator.detected(patterns_b, faults)
+        logs = [
+            make_fail_log(circuit, patterns_a, fault, session.simulator.compiled)
+            for fault, flag in zip(faults, detected_a)
+            if flag
+        ][:3] + [
+            make_fail_log(circuit, patterns_b, fault, session.simulator.compiled)
+            for fault, flag in zip(faults, detected_b)
+            if flag
+        ][:2]
+        assert len(logs) == 5  # two pattern-set groups in one batch
+        batched = session.diagnose_batch(logs, method="dictionary", top_k=4)
+        serial = [
+            session.diagnose(log, method="dictionary", top_k=4) for log in logs
+        ]
+        for got, want in zip(batched, serial):
+            assert got.to_dict() == want.to_dict()
+
+    def test_session_diagnose_batch_non_dictionary_degrades(self, tmp_path):
+        from repro.flow.session import Session
+
+        session = Session.from_name("c17", cache=tmp_path)
+        circuit = session.circuit
+        patterns = _random_patterns(circuit, 24, "batch-ec")
+        faults = collapse_faults(circuit)
+        detected = session.simulator.detected(patterns, faults)
+        target = next(f for f, flag in zip(faults, detected) if flag)
+        log = make_fail_log(circuit, patterns, target, session.simulator.compiled)
+        (batched,) = session.diagnose_batch(
+            [log], method="effect_cause", top_k=3
+        )
+        serial = session.diagnose(log, method="effect_cause", top_k=3)
+        assert [c.fault for c in batched.candidates] == [
+            c.fault for c in serial.candidates
+        ]
+
+    def test_diagnose_batch_top_k_length_validated(self, tmp_path):
+        from repro.flow.session import Session
+
+        session = Session.from_name("c17")
+        with pytest.raises(ValueError, match="top_k"):
+            session.diagnose_batch([], top_k=[1, 2])
+
+    def test_attach_packed_validates_length(self, c17):
+        from repro.utils.bitvec import pack_patterns
+
+        patterns = _random_patterns(c17, 8, "attach")
+        faults = collapse_faults(c17)
+        simulator = BatchFaultSimulator(c17)
+        detected = simulator.detected(patterns, faults)
+        target = next(f for f, flag in zip(faults, detected) if flag)
+        log = make_fail_log(c17, patterns, target, simulator.compiled)
+        packed = log.packed(c17.n_inputs)
+        assert log.attach_packed(packed) is log
+        short = make_fail_log(
+            c17, patterns[:4], target, simulator.compiled
+        ).packed(c17.n_inputs)
+        with pytest.raises(ValueError, match="packed carries"):
+            log.attach_packed(short)

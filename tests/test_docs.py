@@ -37,6 +37,10 @@ EXAMPLE_ARGS: dict[str, list[str]] = {
     "soc_accumulator_bist.py": ["--scale", "0.1", "--evolution-length", "16"],
     "tradeoff_exploration.py": ["--circuit", "s420", "--scale", "0.15"],
     "diagnose_bist_failure.py": ["--circuit", "c499", "--patterns", "64"],
+    "serve_client.py": [
+        "--circuit", "c499", "--patterns", "48",
+        "--requests", "12", "--clients", "4",
+    ],
 }
 
 #: Modules whose docstrings carry executable ``>>>`` examples — keep in

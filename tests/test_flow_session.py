@@ -155,6 +155,214 @@ class TestSerialization:
             PipelineResult.from_dict(payload)
 
 
+def _serve_bodies(baseline):
+    """One representative instance of every serve-layer wire kind."""
+    from repro.diagnosis.result import DiagnosisResult
+    from repro.flow.serialize import diagnosis_result_to_dict
+    from repro.serve.api import (
+        AtpgRequest,
+        AtpgResponse,
+        DiagnoseRequest,
+        DiagnoseResponse,
+        PatternSet,
+        ServeError,
+        SweepRequest,
+        SweepResponse,
+    )
+    from repro.utils.bitvec import BitVector
+
+    diagnosis_payload = diagnosis_result_to_dict(
+        DiagnosisResult(
+            circuit_name="c17",
+            mode="dictionary",
+            n_patterns=4,
+            n_failing=1,
+            candidates=[],
+            n_candidates_considered=3,
+        )
+    )
+    return {
+        "pattern_set": PatternSet(
+            circuit_name="c17",
+            width=5,
+            patterns=(
+                BitVector.from_string("10101"),
+                BitVector.from_string("01010"),
+            ),
+        ),
+        "diagnose_request": DiagnoseRequest(
+            circuit="c17",
+            responses=("10", "01"),
+            patterns=("10101", "01010"),
+            method="dictionary",
+            top_k=5,
+            timeout_ms=1500,
+        ),
+        "diagnose_response": DiagnoseResponse(
+            result=diagnosis_payload,
+            patterns_ref="ab" * 32,
+            batched=True,
+            batch_size=4,
+            seconds=0.0123,
+        ),
+        "atpg_request": AtpgRequest(circuit="c17", max_random_patterns=64),
+        "atpg_response": AtpgResponse(
+            result=baseline.atpg.to_dict(), from_memo=True, seconds=0.5
+        ),
+        "sweep_request": SweepRequest(
+            circuits=("c17", "s27"), evolution_lengths=(8, 16)
+        ),
+        "sweep_response": SweepResponse(
+            cells=({"circuit": "c17", "tpg": "adder", "n_triplets": 3},),
+            n_cached=1,
+            seconds=1.25,
+        ),
+        "serve_error": ServeError(
+            error="queue full", status=429, retry_after=1.0
+        ),
+    }
+
+
+SERVE_KINDS = [
+    "pattern_set",
+    "diagnose_request",
+    "diagnose_response",
+    "atpg_request",
+    "atpg_response",
+    "sweep_request",
+    "sweep_response",
+    "serve_error",
+]
+
+
+class TestServeSerialization:
+    """The serve wire kinds ride the same schema-versioned discipline
+    as the artifact kinds above — round-trip + skew rejection each."""
+
+    @pytest.mark.parametrize("kind", SERVE_KINDS)
+    def test_round_trip_preserves_everything(self, baseline, kind):
+        body = _serve_bodies(baseline)[kind]
+        payload = body.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == kind
+        clone = type(body).from_dict(json.loads(json.dumps(payload)))
+        assert clone == body
+
+    @pytest.mark.parametrize("kind", SERVE_KINDS)
+    def test_schema_version_skew_rejected(self, baseline, kind):
+        body = _serve_bodies(baseline)[kind]
+        payload = body.to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaMismatchError):
+            type(body).from_dict(payload)
+
+    @pytest.mark.parametrize("kind", SERVE_KINDS)
+    def test_wrong_kind_rejected(self, baseline, kind):
+        body = _serve_bodies(baseline)[kind]
+        payload = body.to_dict()
+        payload["kind"] = "packed_evolution"
+        with pytest.raises(SchemaMismatchError):
+            type(body).from_dict(payload)
+
+    def test_serve_stats_envelope_round_trips(self):
+        from repro.flow.serialize import (
+            serve_stats_from_dict,
+            serve_stats_to_dict,
+        )
+
+        counters = {"requests": {"/diagnose": 3}, "batcher": {"shed": 0}}
+        payload = serve_stats_to_dict(counters)
+        assert payload["kind"] == "serve_stats"
+        assert serve_stats_from_dict(json.loads(json.dumps(payload))) == counters
+
+    def test_diagnose_response_checks_embedded_result(self, baseline):
+        body = _serve_bodies(baseline)["diagnose_response"]
+        payload = body.to_dict()
+        payload["result"]["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaMismatchError):
+            type(body).from_dict(payload)
+
+
+class TestArtifactCacheRobustness:
+    """The PR-7 bugfixes: corrupt entries are counted misses (never
+    crashes), failed writes never orphan ``*.tmp`` files."""
+
+    def _key_and_payload(self):
+        key = ArtifactCache.key("pattern_set", digest="robust")
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "pattern_set",
+            "circuit_name": "c17",
+            "width": 5,
+            "patterns": ["10101"],
+        }
+        return key, payload
+
+    def test_truncated_json_is_corrupt_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key, payload = self._key_and_payload()
+        cache.put(key, payload)
+        (tmp_path / f"{key}.json").write_text('{"schema_version": 2, "ki')
+        assert cache.get(key, "pattern_set") is None
+        assert cache.corrupt_for("pattern_set") == 1
+        assert cache.stats()["corrupt"] == 1
+        assert cache.misses_for("pattern_set") == 1
+
+    def test_valid_json_non_dict_is_corrupt_miss(self, tmp_path):
+        """Regression: a JSON scalar/list used to crash ``get`` with an
+        AttributeError inside ``check_schema``."""
+        cache = ArtifactCache(tmp_path)
+        key, _ = self._key_and_payload()
+        (tmp_path / f"{key}.json").write_text("42")
+        assert cache.get(key, "pattern_set") is None
+        assert cache.corrupt_for("pattern_set") == 1
+
+    def test_schema_mismatch_is_plain_miss_not_corrupt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key, payload = self._key_and_payload()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        cache.put(key, payload)
+        assert cache.get(key, "pattern_set") is None
+        assert cache.corrupt_for("pattern_set") == 0
+        assert cache.misses_for("pattern_set") == 1
+
+    def test_failed_replace_removes_tmp(self, tmp_path, monkeypatch):
+        from pathlib import Path as _Path
+
+        cache = ArtifactCache(tmp_path)
+        key, payload = self._key_and_payload()
+
+        def doomed(self, target):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(_Path, "replace", doomed)
+        with pytest.raises(OSError):
+            cache.put(key, payload)
+        monkeypatch.undo()
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not (tmp_path / f"{key}.json").exists()
+
+    def test_stale_tmp_swept_at_open(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        stale = tmp_path / "entry.json.1-0.tmp"
+        stale.write_text("partial")
+        _os.utime(stale, (_time.time() - 7200, _time.time() - 7200))
+        fresh = tmp_path / "entry.json.2-0.tmp"
+        fresh.write_text("live writer")
+        cache = ArtifactCache(tmp_path, stale_tmp_age=3600)
+        assert not stale.exists()
+        assert fresh.exists()
+        assert cache.swept_tmp == 1
+        assert cache.stats()["swept_tmp"] == 1
+
+    def test_concurrent_writers_use_distinct_tmp_names(self, tmp_path):
+        a, b = ArtifactCache(tmp_path), ArtifactCache(tmp_path)
+        path = tmp_path / "entry.json"
+        assert a._tmp_path(path) != b._tmp_path(path)
+
+
 class TestSession:
     def test_session_matches_pipeline(self, c17, baseline):
         session = Session(c17, config=CONFIG)

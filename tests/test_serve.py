@@ -1,0 +1,648 @@
+"""The serve subsystem: HTTP framing, micro-batching, the live server.
+
+Three layers, tested bottom-up:
+
+* :mod:`repro.serve.http11` — request parsing and response framing
+  against hand-built byte streams;
+* :mod:`repro.serve.batcher` — window/size/deadline semantics with a
+  stub process callback (no sockets, no compute);
+* the live :class:`~repro.serve.server.ReproServer` — a real listening
+  socket on an ephemeral port, driven by :class:`~repro.serve.client.
+  ServeClient`, including the acceptance contracts: served diagnosis
+  payloads byte-identical to a local ``Session.diagnose``, concurrent
+  requests fused by the batcher, 429 load shedding when the queue bound
+  is hit, and a loss-free SIGTERM drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.diagnosis import make_fail_log
+from repro.faults.collapse import collapse_faults
+from repro.flow.serialize import diagnosis_result_to_dict, to_json
+from repro.flow.session import Session
+from repro.serve import (
+    AtpgRequest,
+    BackgroundServer,
+    DeadlineExceededError,
+    DiagnoseRequest,
+    MicroBatcher,
+    PendingWork,
+    QueueFullError,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+    SweepRequest,
+)
+from repro.serve.http11 import HttpError, read_request, response_bytes
+from repro.utils.bitvec import BitVector
+from repro.utils.rng import RngStream
+
+# ----------------------------------------------------------------------
+# HTTP/1.1 framing
+# ----------------------------------------------------------------------
+
+
+def _parse(data: bytes):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(main())
+
+
+class TestHttp11:
+    def test_parses_post_with_body(self):
+        request = _parse(
+            b"POST /diagnose HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 2\r\n"
+            b"\r\n"
+            b"{}"
+        )
+        assert request.method == "POST"
+        assert request.target == "/diagnose"
+        assert request.body == b"{}"
+        assert request.headers["content-type"] == "application/json"
+        assert request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"NOT-HTTP\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_post_without_length_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"POST /x HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 411
+
+    def test_chunked_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert excinfo.value.status == 501
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+            )
+        assert excinfo.value.status == 413
+
+    def test_peer_death_mid_body_returns_none(self):
+        request = _parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhal"
+        )
+        assert request is None
+
+    def test_connection_close_disables_keep_alive(self):
+        request = _parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not _parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+        assert _parse(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        ).keep_alive
+
+    def test_response_bytes_frames_body(self):
+        raw = response_bytes(
+            429, b'{"e":1}', keep_alive=False,
+            extra_headers=(("Retry-After", "1"),),
+        )
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 1" in head
+        assert b"Content-Length: 7" in head
+        assert b"Connection: close" in head
+        assert body == b'{"e":1}'
+
+
+# ----------------------------------------------------------------------
+# Micro-batcher semantics (stub compute)
+# ----------------------------------------------------------------------
+
+
+def _echo_process(groups_seen):
+    async def process(group):
+        groups_seen.append([w.payload for w in group])
+        for work in group:
+            if not work.future.done():
+                work.future.set_result(work.payload)
+
+    return process
+
+
+def _work(loop, payload, group="g", ttl=30.0):
+    return PendingWork(
+        kind="t",
+        group_key=group,
+        payload=payload,
+        future=loop.create_future(),
+        enqueued=loop.time(),
+        deadline=loop.time() + ttl,
+    )
+
+
+class TestMicroBatcher:
+    def test_concurrent_submissions_fuse_into_one_group(self):
+        groups = []
+
+        async def main():
+            batcher = MicroBatcher(
+                process=_echo_process(groups), window_s=0.05, max_batch=8
+            )
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            works = [_work(loop, i) for i in range(4)]
+            for work in works:
+                batcher.submit(work)
+            results = await asyncio.gather(*(w.future for w in works))
+            await batcher.close()
+            return results
+
+        assert asyncio.run(main()) == [0, 1, 2, 3]
+        assert groups == [[0, 1, 2, 3]]
+
+    def test_max_batch_caps_group_size(self):
+        groups = []
+
+        async def main():
+            batcher = MicroBatcher(
+                process=_echo_process(groups), window_s=5.0, max_batch=2
+            )
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            works = [_work(loop, i) for i in range(5)]
+            for work in works:
+                batcher.submit(work)
+            await asyncio.gather(*(w.future for w in works))
+            await batcher.close()
+
+        asyncio.run(main())
+        assert [len(g) for g in groups] == [2, 2, 1]
+
+    def test_groups_partition_by_key(self):
+        groups = []
+
+        async def main():
+            batcher = MicroBatcher(
+                process=_echo_process(groups), window_s=0.05, max_batch=8
+            )
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            works = [_work(loop, i, group=f"g{i % 2}") for i in range(4)]
+            for work in works:
+                batcher.submit(work)
+            await asyncio.gather(*(w.future for w in works))
+            await batcher.close()
+
+        asyncio.run(main())
+        assert sorted(sorted(g) for g in groups) == [[0, 2], [1, 3]]
+
+    def test_bounded_queue_sheds(self):
+        async def main():
+            batcher = MicroBatcher(
+                process=_echo_process([]), window_s=0.01, max_queue=1
+            )
+            # Not started: nothing drains the queue, so the bound hits.
+            loop = asyncio.get_running_loop()
+            batcher.submit(_work(loop, 0))
+            with pytest.raises(QueueFullError):
+                batcher.submit(_work(loop, 1))
+            assert batcher.stats.shed == 1
+
+        asyncio.run(main())
+
+    def test_expired_work_fails_with_deadline_error(self):
+        async def main():
+            batcher = MicroBatcher(process=_echo_process([]), window_s=0.01)
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            work = _work(loop, 0, ttl=-1.0)  # already expired
+            batcher.submit(work)
+            with pytest.raises(DeadlineExceededError):
+                await work.future
+            await batcher.close()
+            assert batcher.stats.expired == 1
+
+        asyncio.run(main())
+
+    def test_close_drains_queued_work(self):
+        groups = []
+
+        async def main():
+            batcher = MicroBatcher(
+                process=_echo_process(groups), window_s=10.0, max_batch=8
+            )
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            works = [_work(loop, i) for i in range(3)]
+            for work in works:
+                batcher.submit(work)
+            await batcher.close()  # well before the 10 s window elapses
+            return [w.future.result() for w in works]
+
+        assert asyncio.run(main()) == [0, 1, 2]
+        assert sum(len(g) for g in groups) == 3
+
+    def test_process_exception_propagates_to_futures(self):
+        async def main():
+            async def process(group):
+                raise RuntimeError("compute fell over")
+
+            batcher = MicroBatcher(process=process, window_s=0.01)
+            batcher.start()
+            loop = asyncio.get_running_loop()
+            work = _work(loop, 0)
+            batcher.submit(work)
+            with pytest.raises(RuntimeError, match="fell over"):
+                await work.future
+            await batcher.close()
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Live server end-to-end
+# ----------------------------------------------------------------------
+
+
+def _scenario(circuit_name="c17", n_patterns=24, seed=11):
+    """A synthetic single-fault fail log plus its local session."""
+    session = Session.from_name(circuit_name)
+    circuit = session.circuit
+    faults = collapse_faults(circuit)
+    rng = RngStream(seed, "serve-test", circuit.name)
+    patterns = [
+        BitVector.random(circuit.n_inputs, rng) for _ in range(n_patterns)
+    ]
+    detected = session.simulator.detected(patterns, faults)
+    target = next(f for f, flag in zip(faults, detected) if flag)
+    log = make_fail_log(circuit, patterns, target, session.simulator.compiled)
+    return session, patterns, log
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return _scenario()
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = tmp_path_factory.mktemp("serve-store")
+    with BackgroundServer(
+        ServeConfig(port=0, batch_window_ms=10.0, max_batch=8, store=store)
+    ) as background:
+        yield background
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(server.host, server.port) as c:
+        yield c
+
+
+class TestServerEndpoints:
+    def test_healthz(self, client):
+        assert client.healthz() == {"status": "ok"}
+
+    def test_diagnose_byte_identical_to_session(self, client, scenario):
+        session, patterns, log = scenario
+        local = session.diagnose(log, method="dictionary", top_k=5)
+        response = client.diagnose(
+            DiagnoseRequest(
+                circuit="c17",
+                patterns=tuple(p.to_string() for p in patterns),
+                responses=tuple(r.to_string() for r in log.responses),
+                method="dictionary",
+                top_k=5,
+            )
+        )
+        assert to_json(response.result) == to_json(
+            diagnosis_result_to_dict(local)
+        )
+        assert response.patterns_ref
+
+    def test_patterns_ref_round_trip(self, client, scenario):
+        session, patterns, log = scenario
+        first = client.diagnose(
+            DiagnoseRequest(
+                circuit="c17",
+                patterns=tuple(p.to_string() for p in patterns),
+                responses=tuple(r.to_string() for r in log.responses),
+            )
+        )
+        again = client.diagnose(
+            DiagnoseRequest(
+                circuit="c17",
+                patterns_ref=first.patterns_ref,
+                responses=tuple(r.to_string() for r in log.responses),
+            )
+        )
+        assert again.patterns_ref == first.patterns_ref
+        assert to_json(again.result) == to_json(first.result)
+
+    def test_effect_cause_method_served(self, client, scenario):
+        session, patterns, log = scenario
+        local = session.diagnose(log, method="effect_cause", top_k=3)
+        response = client.diagnose(
+            DiagnoseRequest(
+                circuit="c17",
+                patterns=tuple(p.to_string() for p in patterns),
+                responses=tuple(r.to_string() for r in log.responses),
+                method="effect_cause",
+                top_k=3,
+            )
+        )
+        local_payload = diagnosis_result_to_dict(local)
+        local_payload["timings"] = {}  # the only non-deterministic field
+        assert to_json(response.result) == to_json(local_payload)
+
+    def test_unknown_patterns_ref_rejected(self, client, scenario):
+        _, _, log = scenario
+        with pytest.raises(ServeClientError) as excinfo:
+            client.diagnose(
+                DiagnoseRequest(
+                    circuit="c17",
+                    patterns_ref="no-such-ref",
+                    responses=tuple(r.to_string() for r in log.responses),
+                )
+            )
+        assert excinfo.value.status == 400
+
+    def test_invalid_method_rejected(self, client, scenario):
+        _, patterns, log = scenario
+        with pytest.raises(ServeClientError) as excinfo:
+            client.diagnose(
+                DiagnoseRequest(
+                    circuit="c17",
+                    patterns=tuple(p.to_string() for p in patterns),
+                    responses=tuple(r.to_string() for r in log.responses),
+                    method="tea-leaves",
+                )
+            )
+        assert excinfo.value.status == 400
+
+    def test_schema_version_skew_rejected(self, client, scenario):
+        _, patterns, log = scenario
+        payload = DiagnoseRequest(
+            circuit="c17",
+            patterns=tuple(p.to_string() for p in patterns),
+            responses=tuple(r.to_string() for r in log.responses),
+        ).to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("POST", "/diagnose", payload)
+        assert excinfo.value.status == 400
+
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/no-such")
+        assert excinfo.value.status == 404
+
+    def test_wrong_verb_405(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/diagnose")
+        assert excinfo.value.status == 405
+
+    def test_non_json_body_400(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/diagnose", body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["kind"] == "serve_error"
+        finally:
+            conn.close()
+
+    def test_atpg_endpoint_and_memo(self, client):
+        first = client.atpg(
+            AtpgRequest(circuit="c17", max_random_patterns=64)
+        )
+        assert first.result["kind"] == "atpg_result"
+        again = client.atpg(
+            AtpgRequest(circuit="c17", max_random_patterns=64)
+        )
+        assert again.from_memo
+        assert to_json(again.result) == to_json(first.result)
+
+    def test_sweep_endpoint(self, client):
+        response = client.sweep(
+            SweepRequest(circuits=("c17",), evolution_lengths=(8,))
+        )
+        assert len(response.cells) == 1
+        cell = response.cells[0]
+        assert cell["circuit"] == "c17"
+        assert cell["tpg"] == "adder"
+        assert cell["n_triplets"] >= 1
+
+    def test_stats_document(self, client, scenario):
+        _, patterns, log = scenario
+        client.diagnose(
+            DiagnoseRequest(
+                circuit="c17",
+                patterns=tuple(p.to_string() for p in patterns),
+                responses=tuple(r.to_string() for r in log.responses),
+            )
+        )
+        stats = client.stats()
+        assert stats["server"]["max_batch"] == 8
+        assert stats["requests"]["/diagnose"] >= 1
+        assert stats["batcher"]["submitted"] >= 1
+        assert stats["pattern_sets"] >= 1
+        assert any(s.startswith("c17@") for s in stats["sessions"])
+        assert stats["store"]["worker_id"].startswith("pid-")
+
+
+class TestServerConcurrency:
+    def test_concurrent_requests_fuse_and_match_serial(self, scenario):
+        session, patterns, log = scenario
+        local_json = to_json(
+            diagnosis_result_to_dict(
+                session.diagnose(log, method="dictionary", top_k=5)
+            )
+        )
+        with BackgroundServer(
+            ServeConfig(port=0, batch_window_ms=120.0, max_batch=16)
+        ) as background:
+            # Register the pattern set and warm the dictionary first, so
+            # the concurrent wave measures batching, not the cold build.
+            with ServeClient(background.host, background.port) as warm:
+                ref = warm.diagnose(
+                    DiagnoseRequest(
+                        circuit="c17",
+                        patterns=tuple(p.to_string() for p in patterns),
+                        responses=tuple(r.to_string() for r in log.responses),
+                        top_k=5,
+                    )
+                ).patterns_ref
+
+            def one_request(_):
+                with ServeClient(background.host, background.port) as c:
+                    return c.diagnose(
+                        DiagnoseRequest(
+                            circuit="c17",
+                            patterns_ref=ref,
+                            responses=tuple(
+                                r.to_string() for r in log.responses
+                            ),
+                            top_k=5,
+                        )
+                    )
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                responses = list(pool.map(one_request, range(8)))
+        assert all(to_json(r.result) == local_json for r in responses)
+        # With a 120 ms window and 8 threads, the batcher must have
+        # fused at least one multi-request group.
+        assert max(r.batch_size for r in responses) > 1
+        assert any(r.batched for r in responses)
+
+    def test_queue_bound_sheds_with_429(self, scenario):
+        _, patterns, log = scenario
+        with BackgroundServer(
+            ServeConfig(
+                port=0, batch_window_ms=300.0, max_batch=1, max_queue=1
+            )
+        ) as background:
+            responses_text = tuple(r.to_string() for r in log.responses)
+            patterns_text = tuple(p.to_string() for p in patterns)
+
+            def one_request(_):
+                with ServeClient(background.host, background.port) as c:
+                    try:
+                        c.diagnose(
+                            DiagnoseRequest(
+                                circuit="c17",
+                                patterns=patterns_text,
+                                responses=responses_text,
+                            )
+                        )
+                        return None
+                    except ServeClientError as exc:
+                        return exc
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                outcomes = list(pool.map(one_request, range(8)))
+        shed = [e for e in outcomes if e is not None and e.status == 429]
+        assert shed, "queue bound never produced a 429"
+        assert all(e.retry_after is not None for e in shed)
+
+    def test_per_request_timeout_maps_to_504(self, scenario):
+        _, patterns, log = scenario
+        # A 500 ms batching window with a 50 ms request deadline: the
+        # request expires while parked in the batcher.
+        with BackgroundServer(
+            ServeConfig(port=0, batch_window_ms=500.0, max_batch=64)
+        ) as background:
+            with ServeClient(background.host, background.port) as c:
+                with pytest.raises(ServeClientError) as excinfo:
+                    c.diagnose(
+                        DiagnoseRequest(
+                            circuit="c17",
+                            patterns=tuple(p.to_string() for p in patterns),
+                            responses=tuple(
+                                r.to_string() for r in log.responses
+                            ),
+                            timeout_ms=50,
+                        )
+                    )
+        assert excinfo.value.status == 504
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        """The supervisor contract: SIGTERM -> drain -> exit 0."""
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ, PYTHONPATH=repo_src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "repro serve listening on http://" in line
+            host_port = line.split("http://", 1)[1].split()[0]
+            host, port = host_port.rsplit(":", 1)
+            with ServeClient(host, int(port)) as client:
+                assert client.healthz() == {"status": "ok"}
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "drained cleanly" in out
+
+    def test_background_server_drain_completes_inflight(self, scenario):
+        """Requests accepted before the drain still get answers."""
+        _, patterns, log = scenario
+        background = BackgroundServer(
+            ServeConfig(port=0, batch_window_ms=200.0, max_batch=16)
+        )
+        background.__enter__()
+        try:
+            results = []
+
+            def one_request():
+                with ServeClient(background.host, background.port) as c:
+                    results.append(
+                        c.diagnose(
+                            DiagnoseRequest(
+                                circuit="c17",
+                                patterns=tuple(
+                                    p.to_string() for p in patterns
+                                ),
+                                responses=tuple(
+                                    r.to_string() for r in log.responses
+                                ),
+                            )
+                        )
+                    )
+
+            threads = [
+                threading.Thread(target=one_request) for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)  # let the requests reach the batcher window
+        finally:
+            background.stop()  # drain while they are still parked
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 3
+        assert all(r.result["kind"] == "diagnosis_result" for r in results)

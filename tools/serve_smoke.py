@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the ``repro serve`` worker process.
+
+Boots the real foreground server (``python -m repro serve --port 0``)
+as a subprocess, then walks the lifecycle CI cares about:
+
+1. parse the "listening on" line for the ephemeral port;
+2. ``GET /healthz`` answers ``{"status": "ok"}``;
+3. ``POST /diagnose`` on c17 returns a schema-stamped
+   ``diagnose_response`` whose embedded payload round-trips through
+   the serialize layer;
+4. SIGTERM drains cleanly: exit code 0 and the drain message on stdout.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+
+Exits non-zero with a diagnostic on any failure.  CI's tests job runs
+this on every Python version in the matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def fail(message: str, server: subprocess.Popen | None = None) -> int:
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    if server is not None:
+        server.kill()
+        out, _ = server.communicate(timeout=10)
+        print(f"server output:\n{out}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = server.stdout.readline()
+    if "listening on http://" not in banner:
+        return fail(f"unexpected banner: {banner!r}", server)
+    host, _, port_text = banner.split("http://", 1)[1].split()[0].rpartition(":")
+
+    # The client import needs src/ on the path too.
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.flow.serialize import diagnosis_result_from_dict
+    from repro.serve import DiagnoseRequest, ServeClient
+
+    try:
+        with ServeClient(host, int(port_text)) as client:
+            health = client.healthz()
+            if health.get("status") != "ok":
+                return fail(f"healthz said {health}", server)
+            response = client.diagnose(
+                DiagnoseRequest(
+                    circuit="c17",
+                    patterns=("10110", "01001", "11100", "00011"),
+                    responses=("10", "01", "11", "00"),
+                    method="effect_cause",
+                )
+            )
+            if response.result.get("kind") != "diagnosis_result":
+                return fail(f"unexpected payload kind: {response.result}", server)
+            diagnosis_result_from_dict(response.result)  # schema round-trip
+    except Exception as error:  # noqa: BLE001 - smoke surface, report all
+        return fail(f"request phase raised {error!r}", server)
+
+    server.send_signal(signal.SIGTERM)
+    try:
+        out, _ = server.communicate(timeout=30)
+    except subprocess.TimeoutExpired:
+        return fail("SIGTERM did not drain within 30s", server)
+    if server.returncode != 0:
+        return fail(f"exit code {server.returncode}\noutput:\n{out}")
+    if "drained cleanly" not in out:
+        return fail(f"drain message missing from output:\n{out}")
+    print("serve smoke OK: healthz + diagnose + clean SIGTERM drain")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
