@@ -174,6 +174,13 @@ class BatchPodem:
         self._dropped: set[Fault] = set()
         #: Sweep counter (perf forensics: decisions advance per sweep).
         self.sweeps = 0
+        #: Engine-level effort counters, folded into a metrics registry
+        #: by the driving :class:`repro.atpg.engine.AtpgEngine` once per
+        #: run (this object is transient; see ``counters()``).
+        self.lanes_seated = 0
+        self.backtracks_total = 0
+        self.decisions_total = 0
+        self.tail_finishes = 0
 
     #: Inverting types fold into their base type for the sweep; the
     #: inversion is applied per level as one vectorized fixup.
@@ -277,6 +284,9 @@ class BatchPodem:
                     if lane.fault in self._dropped:
                         continue
                     result = self._oracle.generate(lane.fault)
+                    self.tail_finishes += 1
+                    self.backtracks_total += result.backtracks
+                    self.decisions_total += result.decisions
                     if lane.fault in self._dropped:
                         continue  # dropped while yielding an earlier one
                     yield lane.fault, result
@@ -315,7 +325,20 @@ class BatchPodem:
     # lane management
     # ------------------------------------------------------------------
 
+    def counters(self) -> dict[str, int]:
+        """Cumulative search-effort counters for this engine instance:
+        lanes seated, implication rounds (sweeps), backtracks and
+        decisions across all lanes, and scalar tail-finishes."""
+        return {
+            "lanes_seated": self.lanes_seated,
+            "rounds": self.sweeps,
+            "backtracks": self.backtracks_total,
+            "decisions": self.decisions_total,
+            "tail_finishes": self.tail_finishes,
+        }
+
     def _seat(self, col: int, fault: Fault) -> None:
+        self.lanes_seated += 1
         lane = _Lane(fault, col, self._n_words)
         (
             lane.site_net_id,
@@ -536,6 +559,7 @@ class BatchPodem:
                     last[2] = True
                     self._assign(lane, last[0], last[1])
                     lane.backtracks += 1
+                    self.backtracks_total += 1
                     flipped = True
                     break
                 self._assign(lane, last[0], _X3)
@@ -559,4 +583,5 @@ class BatchPodem:
         lane.decisions.append([pi_id, int(value), False])
         self._assign(lane, pi_id, int(value))
         lane.total_decisions += 1
+        self.decisions_total += 1
         return None

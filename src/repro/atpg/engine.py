@@ -150,6 +150,7 @@ class AtpgEngine:
         compact: bool = True,
         simulator: BatchFaultSimulator | None = None,
         engine: str = "batch",
+        telemetry=None,
     ) -> None:
         if engine not in ATPG_ENGINES:
             raise ValueError(
@@ -162,6 +163,17 @@ class AtpgEngine:
         self.compact = compact
         self.engine = engine
         self.simulator = simulator or FaultSimulator(circuit)
+        #: Optional :class:`repro.obs.MetricsRegistry`.  The top-off
+        #: engine is transient (one per run), so its counters are folded
+        #: into the registry once per run instead of collector-sampled;
+        #: the simulator's counters ride its own collector.
+        self.telemetry = telemetry
+        if (
+            telemetry is not None
+            and getattr(telemetry, "enabled", False)
+            and hasattr(self.simulator, "attach_metrics")
+        ):
+            self.simulator.attach_metrics(telemetry)
 
     def run(self, faults: list[Fault] | None = None) -> AtpgResult:
         """Generate a complete test set for ``faults`` (default: the
@@ -383,4 +395,22 @@ class AtpgEngine:
                         [f for f, hit in zip(queued, qflags) if hit]
                     )
                 window.clear()
+        self._fold_podem_counters(podem.counters())
         return podem_patterns
+
+    def _fold_podem_counters(self, counters: dict[str, int]) -> None:
+        """Accumulate one top-off run's search-effort counters into the
+        attached metrics registry (no-op without telemetry)."""
+        if self.telemetry is None or not getattr(self.telemetry, "enabled", False):
+            return
+        help_by_name = {
+            "lanes_seated": "PODEM lanes seated into the batch engine.",
+            "rounds": "Batched implication sweeps (rounds).",
+            "backtracks": "PODEM decision backtracks across all lanes.",
+            "decisions": "PODEM decisions across all lanes.",
+            "tail_finishes": "Straggler faults finished by the scalar tail.",
+        }
+        for key, value in counters.items():
+            self.telemetry.counter(
+                f"repro_atpg_{key}_total", help=help_by_name.get(key, "")
+            ).inc(value)

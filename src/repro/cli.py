@@ -71,6 +71,48 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_telemetry(args: argparse.Namespace, root_name: str, **attrs):
+    """When ``--trace`` is set, build tracing telemetry and open a root
+    span wrapping the whole command (so the flow's child spans account
+    for its wall time); returns ``(telemetry, root_span)``."""
+    if not getattr(args, "trace", None):
+        return None, None
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.on(trace=True)
+    root = telemetry.tracer.span(root_name, **attrs)
+    root.__enter__()
+    return telemetry, root
+
+
+def _traced_section(telemetry, name: str, **attrs):
+    """A child span when tracing, a no-op context otherwise — used to
+    account for command work that happens outside the flow stages
+    (circuit load, fail-log synthesis) so the tree covers the command's
+    whole wall time."""
+    if telemetry is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    return telemetry.tracer.span(name, **attrs)
+
+
+def _finish_trace(telemetry, root, path: str) -> None:
+    """Close the root span and write the trace document to ``path``."""
+    from pathlib import Path
+
+    from repro.obs.export import trace_document
+
+    root.__exit__(None, None, None)
+    document = trace_document(telemetry.tracer)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    print(
+        f"trace {document['trace_id']} written to {path} "
+        f"(render with: python -m repro trace {path})",
+        file=sys.stderr,
+    )
+
+
 def _pipeline_config_from_args(args: argparse.Namespace):
     from repro.flow.pipeline import PipelineConfig
 
@@ -100,13 +142,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.reseeding.uniform import storage_comparison, uniformize_solution
 
     config = _pipeline_config_from_args(args)
-    session = Session.from_name(
-        args.circuit, scale=args.scale, config=config, cache=args.cache
+    telemetry, root = _trace_telemetry(
+        args, "repro.run", circuit=args.circuit, tpg=args.tpg
     )
-    result = session.run(args.tpg)
+    with _traced_section(telemetry, "session.setup", circuit=args.circuit):
+        session = Session.from_name(
+            args.circuit,
+            scale=args.scale,
+            config=config,
+            cache=args.cache,
+            telemetry=telemetry,
+        )
+    with _traced_section(telemetry, "session.run", tpg=args.tpg):
+        result = session.run(args.tpg)
     if args.uniform:
         uniform = uniformize_solution(result.trimmed)
         comparison = storage_comparison(result.trimmed, uniform)
+    if telemetry is not None:
+        _finish_trace(telemetry, root, args.trace)
     if args.json:
         payload = result.to_dict()
         if args.uniform:
@@ -252,33 +305,47 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.utils.bitvec import BitVector
     from repro.utils.rng import RngStream
 
-    session = Session.from_name(args.circuit, scale=args.scale, cache=args.cache)
-    circuit = session.circuit
-    faults = collapse_faults(circuit)
-    rng = RngStream(args.seed, "diagnose", circuit.name)
-    patterns = [
-        BitVector.random(circuit.n_inputs, rng) for _ in range(args.patterns)
-    ]
-    if args.fault:
-        injected = tuple(parse_fault(spec) for spec in args.fault)
-    else:
-        # Draw from the faults this pattern set actually detects, so the
-        # synthetic scenario always produces a non-empty fail log.
-        detected = session.simulator.detected(patterns, faults)
-        detectable = [f for f, flag in zip(faults, detected) if flag]
-        if not detectable:
-            print("no detectable faults under this pattern set", file=sys.stderr)
-            return 1
-        injected = choose_faults(detectable, args.faults, rng.child("pick"))
-    fail_log = make_fail_log(circuit, patterns, injected, session.simulator.compiled)
-    method = "signature" if args.signature_only else args.method
-    result = session.diagnose(
-        fail_log,
-        method=method,
-        faults=faults,
-        top_k=args.top_k,
-        min_window=args.min_window,
+    telemetry, root = _trace_telemetry(
+        args, "repro.diagnose", circuit=args.circuit
     )
+    with _traced_section(telemetry, "session.setup", circuit=args.circuit):
+        session = Session.from_name(
+            args.circuit, scale=args.scale, cache=args.cache, telemetry=telemetry
+        )
+    with _traced_section(telemetry, "diagnose.prepare"):
+        circuit = session.circuit
+        faults = collapse_faults(circuit)
+        rng = RngStream(args.seed, "diagnose", circuit.name)
+        patterns = [
+            BitVector.random(circuit.n_inputs, rng) for _ in range(args.patterns)
+        ]
+        if args.fault:
+            injected = tuple(parse_fault(spec) for spec in args.fault)
+        else:
+            # Draw from the faults this pattern set actually detects, so
+            # the synthetic scenario always produces a non-empty fail log.
+            detected = session.simulator.detected(patterns, faults)
+            detectable = [f for f, flag in zip(faults, detected) if flag]
+            if not detectable:
+                print(
+                    "no detectable faults under this pattern set", file=sys.stderr
+                )
+                return 1
+            injected = choose_faults(detectable, args.faults, rng.child("pick"))
+        fail_log = make_fail_log(
+            circuit, patterns, injected, session.simulator.compiled
+        )
+    method = "signature" if args.signature_only else args.method
+    with _traced_section(telemetry, "session.diagnose", method=method):
+        result = session.diagnose(
+            fail_log,
+            method=method,
+            faults=faults,
+            top_k=args.top_k,
+            min_window=args.min_window,
+        )
+    if telemetry is not None:
+        _finish_trace(telemetry, root, args.trace)
     representatives = fault_representatives(circuit)
     ranks = {
         str(fault): result.rank_of(representatives.get(fault, fault))
@@ -333,6 +400,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         python -m repro serve --port 8731 --store .repro-store
         python -m repro serve --host 0.0.0.0 --batch-window-ms 25 --max-batch 64
+        python -m repro serve --metrics   # Prometheus text at GET /metrics
 
     Stop with SIGTERM (or Ctrl-C): the worker drains — finishes every
     accepted request, flushes responses — and exits 0.
@@ -348,8 +416,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             timeout_ms=args.timeout_ms,
             store=args.store,
+            metrics=args.metrics,
         )
     )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace`` — render a ``--trace`` document as a profile table.
+
+    Examples::
+
+        python -m repro run --circuit s420 --tpg adder --trace trace.json
+        python -m repro trace trace.json
+    """
+    from pathlib import Path
+
+    from repro.obs.export import profile_table, validate_trace_document
+
+    document = validate_trace_document(json.loads(Path(args.file).read_text()))
+    print(profile_table(document))
+    return 0
 
 
 def _delegate(module_main):
@@ -438,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also report the uniform-T (shared length) refinement",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a span-tree trace document (render with `repro trace`)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep_cmd = sub.add_parser(
@@ -521,6 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the schema-versioned diagnosis result as JSON",
     )
+    diagnose.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a span-tree trace document (render with `repro trace`)",
+    )
     diagnose.set_defaults(func=_cmd_diagnose)
 
     atpg = sub.add_parser("atpg", help="run the ATPG substrate alone")
@@ -575,7 +673,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="shared artifact-store directory (mountable by many workers)",
     )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="expose Prometheus text metrics at GET /metrics",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", help="render a --trace span document as a profile table"
+    )
+    trace.add_argument("file", help="trace JSON written by run/diagnose --trace")
+    trace.set_defaults(func=_cmd_trace)
 
     for name in ("table1", "table2", "figure2"):
         experiment = sub.add_parser(

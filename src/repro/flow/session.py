@@ -38,6 +38,7 @@ from repro.flow.serialize import (
     atpg_result_to_dict,
 )
 from repro.flow.stages import ProgressHook, StageContext, StageEvent, run_flow
+from repro.obs import NULL_TELEMETRY, Telemetry, stage_hook
 from repro.sim.fault import FaultSimulator
 from repro.tpg.base import TestPatternGenerator
 from repro.tpg.registry import make_tpg
@@ -77,6 +78,7 @@ class ArtifactCache:
         self.misses = 0
         self.corrupt = 0
         self._by_kind: dict[str, dict[str, int]] = {}
+        self._metrics = None
         self.stale_tmp_age = (
             self.STALE_TMP_AGE_S if stale_tmp_age is None else stale_tmp_age
         )
@@ -106,6 +108,46 @@ class ArtifactCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def attach_metrics(self, metrics) -> None:
+        """Mirror this cache's counters into ``metrics`` (a
+        :class:`repro.obs.MetricsRegistry`) as
+        ``repro_cache_{hits,misses,corrupt}_total{kind=...}``.
+
+        Counts recorded *before* attachment are folded in once, so a
+        scrape always agrees with :meth:`stats` no matter when the
+        registry arrived.  Re-attaching the same registry is a no-op.
+        """
+        if metrics is None or not getattr(metrics, "enabled", False):
+            return
+        if self._metrics is metrics:
+            return
+        first = self._metrics is None
+        self._metrics = metrics
+        if first:
+            for kind, bucket in self._by_kind.items():
+                for outcome in ("hits", "misses", "corrupt"):
+                    if bucket.get(outcome):
+                        self._mirror(kind, outcome, bucket[outcome])
+            if self.swept_tmp:
+                metrics.counter(
+                    "repro_cache_swept_tmp_total",
+                    help="Stale *.tmp files swept at cache open.",
+                ).inc(self.swept_tmp)
+
+    _MIRROR_HELP = {
+        "hits": "Artifact cache hits by kind.",
+        "misses": "Artifact cache misses by kind.",
+        "corrupt": "Undecodable artifact cache entries by kind.",
+    }
+
+    def _mirror(self, kind: str, outcome: str, amount: int) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"repro_cache_{outcome}_total",
+                help=self._MIRROR_HELP[outcome],
+                kind=kind,
+            ).inc(amount)
+
     def _count(self, kind: str, hit: bool, corrupt: bool = False) -> None:
         bucket = self._by_kind.setdefault(
             kind, {"hits": 0, "misses": 0, "corrupt": 0}
@@ -114,12 +156,15 @@ class ArtifactCache:
         if hit:
             self.hits += 1
             bucket["hits"] += 1
+            self._mirror(kind, "hits", 1)
         else:
             self.misses += 1
             bucket["misses"] += 1
+            self._mirror(kind, "misses", 1)
             if corrupt:
                 self.corrupt += 1
                 bucket["corrupt"] += 1
+                self._mirror(kind, "corrupt", 1)
 
     def get(self, key: str, kind: str) -> dict[str, Any] | None:
         """The payload stored under ``key``, or ``None`` on any miss.
@@ -255,6 +300,7 @@ class Session:
         scale: float | None = None,
         progress: ProgressHook | None = None,
         atpg_result: AtpgResult | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.circuit = circuit
         self.name = circuit.name
@@ -267,6 +313,18 @@ class Session:
         )
         self.scale = scale
         self.progress = progress
+        #: Opt-in :class:`repro.obs.Telemetry` (default: shared no-op
+        #: pair).  With metrics enabled, the session's simulator and
+        #: cache export their counters through the registry; with
+        #: tracing enabled, every stage event becomes a span.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._telemetry_hook = (
+            stage_hook(self.telemetry) if self.telemetry.enabled else None
+        )
+        if self.telemetry.metrics.enabled:
+            self.simulator.attach_metrics(self.telemetry.metrics)
+            if self.cache is not None:
+                self.cache.attach_metrics(self.telemetry.metrics)
         #: ATPG artefacts memoized per knob-set (seed, patterns, backtracks),
         #: so a multi-config sweep never recomputes an identical ATPG run.
         self._atpg_results: dict[tuple, AtpgResult] = {}
@@ -292,6 +350,7 @@ class Session:
         config: PipelineConfig | None = None,
         cache: ArtifactCache | str | Path | None = None,
         progress: ProgressHook | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> "Session":
         """Load (or synthesise) a catalog circuit and wrap it."""
         return cls(
@@ -300,11 +359,17 @@ class Session:
             cache=cache,
             scale=scale,
             progress=progress,
+            telemetry=telemetry,
         )
 
     # -- progress ----------------------------------------------------------
 
     def _emit(self, event: StageEvent) -> None:
+        """Deliver one stage event: telemetry first (spans + stage
+        metrics), then the user's progress hook.  ``self.progress`` is
+        read live, so post-construction reassignment keeps working."""
+        if self._telemetry_hook is not None:
+            self._telemetry_hook(event)
         if self.progress is not None:
             self.progress(event)
 
@@ -411,6 +476,7 @@ class Session:
             backtrack_limit=config.backtrack_limit,
             simulator=self.simulator,
             engine=config.atpg_engine,
+            telemetry=self.telemetry.metrics,
         )
         result = engine.run()
         self._atpg_seconds = time.perf_counter() - start
@@ -447,8 +513,9 @@ class Session:
             tpg=tpg_instance,
             config=config,
             simulator=self.simulator,
-            progress=self.progress,
+            progress=self._emit,
             evolution_cache=self.packed_evolution,
+            telemetry=self.telemetry,
         )
         ctx.artifacts["atpg"] = atpg
         result = run_flow(ctx)
@@ -670,7 +737,8 @@ class Session:
             tpg=None,
             config=self.config,
             simulator=self.simulator,
-            progress=self.progress,
+            progress=self._emit,
+            telemetry=self.telemetry,
         )
         ctx.artifacts["fail_log"] = fail_log
         stage = DiagnosisStage(

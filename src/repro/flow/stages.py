@@ -48,12 +48,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class StageEvent:
-    """One progress tick: a stage started, finished, or skipped."""
+    """One progress tick: a stage started, finished, or skipped.
+
+    ``attrs`` is an optional structured payload (rows built, cache
+    hit/skip reason, candidate counts) stages fill via
+    ``StageContext.stage_attrs``; it is last and defaulted so the
+    long-standing positional construction ``StageEvent(name, status,
+    seconds, detail)`` keeps working.
+    """
 
     stage: str
     status: str  # "start" | "done" | "skipped"
     seconds: float = 0.0
     detail: str = ""
+    attrs: dict | None = None
 
 
 #: Callback invoked with every :class:`StageEvent` of a flow run.
@@ -86,6 +94,14 @@ class StageContext:
     #: ArtifactCache.  ``None`` evolves directly via
     #: :meth:`~repro.tpg.base.TestPatternGenerator.evolve_batch`.
     evolution_cache: object | None = None
+    #: Scratch attrs for the *currently executing* stage: ``run``
+    #: implementations drop structured facts here (rows built, skip
+    #: reason) and :meth:`Stage.execute` attaches them to the terminal
+    #: :class:`StageEvent`.  Reset before every stage.
+    stage_attrs: dict = field(default_factory=dict)
+    #: Optional :class:`repro.obs.Telemetry`; stages pass its metrics
+    #: registry down to the engines they construct.
+    telemetry: object | None = None
 
     def emit(self, event: StageEvent) -> None:
         """Deliver ``event`` to the progress hook, if any."""
@@ -120,12 +136,20 @@ class Stage:
                 f"(run the producing stages first)"
             )
         ctx.emit(StageEvent(self.name, "start"))
+        ctx.stage_attrs = {}
         start = time.perf_counter()
         skipped = self.run(ctx)
         seconds = time.perf_counter() - start
         ctx.timings[self.name] = seconds
+        if skipped:
+            ctx.stage_attrs.setdefault("skip_reason", "output-artifact-present")
         ctx.emit(
-            StageEvent(self.name, "skipped" if skipped else "done", seconds)
+            StageEvent(
+                self.name,
+                "skipped" if skipped else "done",
+                seconds,
+                attrs=ctx.stage_attrs or None,
+            )
         )
 
     def _already_done(self, ctx: StageContext) -> bool:
@@ -147,6 +171,7 @@ class AtpgStage(Stage):
         if self._already_done(ctx):
             return True
         config = ctx.config
+        telemetry = ctx.telemetry
         engine = AtpgEngine(
             ctx.circuit,
             seed=config.seed,
@@ -154,8 +179,15 @@ class AtpgStage(Stage):
             backtrack_limit=config.backtrack_limit,
             simulator=ctx.simulator,
             engine=config.atpg_engine,
+            telemetry=telemetry.metrics if telemetry is not None else None,
         )
-        ctx.artifacts["atpg"] = engine.run()
+        result = engine.run()
+        ctx.artifacts["atpg"] = result
+        ctx.stage_attrs.update(
+            test_length=result.test_length,
+            n_target_faults=len(result.target_faults),
+            podem_patterns=result.podem_patterns,
+        )
         return False
 
 
@@ -173,11 +205,17 @@ class MatrixStage(Stage):
         builder = InitialReseedingBuilder(
             ctx.circuit, ctx.tpg, seed=config.seed, simulator=ctx.simulator
         )
-        ctx.artifacts["initial"] = builder.build_from_atpg(
+        initial = builder.build_from_atpg(
             ctx.artifacts["atpg"],
             evolution_length=config.evolution_length,
             workers=config.matrix_workers,
             evolve=ctx.evolution_cache,
+        )
+        ctx.artifacts["initial"] = initial
+        ctx.stage_attrs.update(
+            rows_built=len(initial.triplets),
+            n_faults=initial.detection_matrix.matrix.shape[1],
+            evolution_length=initial.evolution_length,
         )
         return False
 
@@ -233,6 +271,10 @@ class TrimStage(Stage):
                 "the covering solution should be complete"
             )
         ctx.artifacts["trimmed"] = trimmed
+        ctx.stage_attrs.update(
+            n_triplets=len(trimmed.solution.triplets),
+            test_length=trimmed.solution.test_length,
+        )
         return False
 
 
@@ -337,6 +379,11 @@ class DiagnosisStage(Stage):
                 top_k=self.top_k,
             )
         ctx.artifacts["diagnosis"] = result
+        ctx.stage_attrs.update(
+            method=self.method,
+            n_candidates=len(result.candidates),
+            n_considered=result.n_candidates_considered,
+        )
         return False
 
 

@@ -1,0 +1,239 @@
+"""Exporters: Prometheus text format, trace documents, profile tables.
+
+Three consumers, one module:
+
+* the serve worker renders its registry with :func:`render_prometheus`
+  for ``GET /metrics`` (text format 0.0.4 — ``# HELP`` / ``# TYPE``
+  comments, ``_total`` counters, cumulative ``_bucket{le=...}``
+  histogram series);
+* tests and ``tools/serve_smoke.py`` re-read that output with
+  :func:`parse_prometheus_text`, which *fails loudly* on any line a
+  Prometheus scraper would reject;
+* the CLI's ``--trace`` flag writes :func:`trace_document` (a
+  schema-versioned JSON kind, validated with the same
+  ``check_schema`` the artifact cache uses) and ``repro trace``
+  renders it back as a self-profile table.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "metrics_snapshot",
+    "parse_prometheus_text",
+    "profile_table",
+    "render_prometheus",
+    "trace_document",
+    "validate_trace_document",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4.
+
+    Counters are suffixed ``_total``; histograms emit cumulative
+    ``_bucket{le=...}`` series (terminated by ``le="+Inf"``) plus
+    ``_sum`` and ``_count``.  Series of one metric are grouped under a
+    single ``# HELP`` / ``# TYPE`` header, as the format requires.
+    """
+    scalars, histograms = registry.collect()
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for sample in scalars:
+        if sample.kind == "counter":
+            name = sample.name if sample.name.endswith("_total") else f"{sample.name}_total"
+            header(name, "counter", sample.help)
+            lines.append(f"{name}{_label_str(sample.labels)} {_fmt(sample.value)}")
+        else:
+            header(sample.name, "gauge", sample.help)
+            lines.append(f"{sample.name}{_label_str(sample.labels)} {_fmt(sample.value)}")
+    for hist in histograms:
+        header(hist.name, "histogram", hist.help)
+        for bound, cumulative in hist.cumulative():
+            le = ("le", _fmt(float(bound)))
+            lines.append(
+                f"{hist.name}_bucket{_label_str(hist.labels, (le,))} {cumulative}"
+            )
+        lines.append(f"{hist.name}_sum{_label_str(hist.labels)} {_fmt(hist.sum)}")
+        lines.append(f"{hist.name}_count{_label_str(hist.labels)} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+_SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse exposition text back into ``{"name{labels}": value}``.
+
+    Label strings are preserved exactly as rendered, so a key built with
+    the same label order round-trips.  Raises :class:`ValueError` on any
+    line a scraper would reject (bad series syntax, malformed label
+    pairs, non-numeric values) — ``tools/serve_smoke.py`` leans on this
+    to fail CI when ``GET /metrics`` regresses.
+    """
+    series: dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 2)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {raw!r}")
+            continue
+        match = _SERIES_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable series {raw!r}")
+        labels = match.group("labels")
+        label_str = ""
+        if labels is not None:
+            consumed = _LABEL_RE.findall(labels)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            if rebuilt != labels.rstrip(","):
+                raise ValueError(f"line {lineno}: malformed labels {labels!r}")
+            label_str = "{" + rebuilt + "}"
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError as error:
+            raise ValueError(
+                f"line {lineno}: bad value {match.group('value')!r}"
+            ) from error
+        series[match.group("name") + label_str] = value
+    return series
+
+
+def metrics_snapshot(registry) -> dict[str, Any]:
+    """The registry as a schema-versioned JSON document (kind
+    ``metrics_snapshot``) — the ``serve_stats``-style machine-readable
+    sibling of the Prometheus rendering."""
+    from repro.flow.serialize import SCHEMA_VERSION
+
+    scalars, histograms = registry.collect()
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    for sample in scalars:
+        target = counters if sample.kind == "counter" else gauges
+        target[sample.name + _label_str(sample.labels)] = sample.value
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "metrics_snapshot",
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": {
+            hist.name + _label_str(hist.labels): hist.snapshot()
+            for hist in histograms
+        },
+    }
+
+
+# --------------------------------------------------------------------------
+# Trace documents
+# --------------------------------------------------------------------------
+
+
+def trace_document(tracer) -> dict[str, Any]:
+    """A tracer's finished span trees as a schema-versioned JSON
+    document (kind ``trace``), validated by the same ``check_schema``
+    contract as every other artefact."""
+    from repro.flow.serialize import SCHEMA_VERSION
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "trace",
+        "trace_id": tracer.trace_id,
+        "spans": [span.to_dict() for span in tracer.roots],
+    }
+
+
+def validate_trace_document(data: dict[str, Any]) -> dict[str, Any]:
+    """Schema-check a loaded trace document and return it."""
+    from repro.flow.serialize import check_schema
+
+    check_schema(data, "trace")
+    if not isinstance(data.get("spans"), list):
+        raise ValueError("trace document has no spans list")
+    return data
+
+
+def _walk(span: dict, depth: int, rows: list, total: float) -> None:
+    seconds = float(span.get("seconds", 0.0))
+    share = (seconds / total) if total > 0 else 0.0
+    child_sum = sum(float(c.get("seconds", 0.0)) for c in span.get("children", ()))
+    self_seconds = max(0.0, seconds - child_sum)
+    attrs = span.get("attrs") or {}
+    detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    rows.append((
+        "  " * depth + span["name"],
+        f"{seconds:.4f}",
+        f"{self_seconds:.4f}",
+        f"{100 * share:.1f}%",
+        detail[:48],
+    ))
+    for child in span.get("children", ()):
+        _walk(child, depth + 1, rows, total)
+
+
+def profile_table(document: dict[str, Any]) -> str:
+    """Render a trace document as an indented self-profile table
+    (total seconds, self seconds, share of root wall time)."""
+    from repro.utils.tables import AsciiTable
+
+    spans = document.get("spans", [])
+    total = sum(float(s.get("seconds", 0.0)) for s in spans)
+    table = AsciiTable(
+        ["span", "total_s", "self_s", "share", "attrs"],
+        title=f"trace {document.get('trace_id', '?')}",
+    )
+    rows: list[tuple[str, str, str, str, str]] = []
+    for span in spans:
+        _walk(span, 0, rows, total)
+    for row in rows:
+        table.add_row(list(row))
+    return table.render()

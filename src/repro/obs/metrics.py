@@ -1,0 +1,416 @@
+"""Process-local metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the single mutable surface of the telemetry subsystem.
+Design constraints, in order:
+
+* **Zero cost when disabled.**  The default registry everywhere is
+  :data:`NULL_REGISTRY`; its instruments are shared no-op singletons, so
+  an un-opted-in code path pays one attribute lookup and a no-op call —
+  or, for the packed kernels, nothing at all (they keep plain ``int``
+  counters and export them through scrape-time *collectors*).
+* **Lock-light when enabled.**  Each instrument owns one
+  ``threading.Lock`` taken for a single add — CPython's ``+=`` on an
+  attribute is not atomic, and the serve worker increments from both
+  the asyncio loop and the compute executor thread.
+* **No allocation on the hot path.**  ``Counter.inc`` / ``Gauge.set`` /
+  ``Histogram.observe`` touch pre-built slots only; bucket search is a
+  ``bisect`` over a pre-sorted tuple.
+
+Prometheus semantics are preserved exactly: histogram buckets are
+cumulative ``le`` (less-or-equal) upper bounds, a value landing exactly
+on a boundary counts in that bucket, anything above the largest bound
+lands in ``+Inf``.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from bisect import bisect_left
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullMetricsRegistry",
+    "Sample",
+]
+
+#: Default upper bounds for latency histograms, in seconds.  Spans the
+#: serve worker's observed range (sub-millisecond /healthz up to
+#: multi-second cold /diagnose) so p50/p99 are derivable from buckets.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: dict[str, str]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported time-series value.
+
+    ``kind`` is ``counter`` or ``gauge``; histograms export their
+    structured state through :meth:`Histogram.snapshot` instead.
+    Collectors yield ``Sample`` rows; the registry sums counter samples
+    that share ``(name, labels)`` — that is how per-session kernel
+    counters aggregate into one process-wide series.
+    """
+
+    name: str
+    kind: str
+    labels: LabelSet
+    value: float
+    help: str = ""
+
+
+class Counter:
+    """Monotonically increasing counter. Rendered with a ``_total`` name."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelSet = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}{dict(self.labels)}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, open connections)."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelSet = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit
+    ``+Inf`` bucket is always appended.  ``observe(v)`` counts ``v``
+    in the first bucket whose bound is ``>= v`` (boundary values land
+    *in* their bucket, matching ``le``'s less-or-equal contract).
+    """
+
+    __slots__ = ("name", "help", "labels", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+        labels: LabelSet = (),
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name} buckets must strictly increase: {buckets}")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: int | float) -> None:
+        idx = bisect_left(self.buckets, value)  # first bound >= value
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> dict:
+        """Structured state: per-bucket counts (non-cumulative), sum, count."""
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``(inf, count)``."""
+        snap = self.snapshot()
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(snap["buckets"], snap["counts"]):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + snap["counts"][-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile from bucket bounds (upper-bound
+        interpolation, the same estimate ``histogram_quantile`` gives a
+        Prometheus server).  Returns 0.0 for an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        snap = self.snapshot()
+        total = snap["count"]
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0
+        lower = 0.0
+        for bound, n in zip(snap["buckets"], snap["counts"]):
+            if running + n >= rank and n > 0:
+                within = (rank - running) / n
+                return lower + (bound - lower) * within
+            running += n
+            lower = bound
+        return snap["buckets"][-1]  # rank fell in +Inf: clamp to max bound
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    help = ""
+    labels: LabelSet = ()
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    help = ""
+    labels: LabelSet = ()
+    value = 0
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    help = ""
+    labels: LabelSet = ()
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"buckets": list(self.buckets), "counts": [0] * (len(self.buckets) + 1),
+                "sum": 0.0, "count": 0}
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments plus scrape-time collectors.
+
+    Instruments are keyed by ``(name, sorted labels)``; asking twice for
+    the same key returns the same object, so call sites never cache
+    instruments unless they are on a hot path.  ``register_collector``
+    accepts a **bound method** returning ``Sample`` rows; the registry
+    holds it via ``weakref.WeakMethod`` so a collector dies with its
+    owner (a ``Session``'s simulator, say) instead of pinning it.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, str, LabelSet], object] = {}
+        self._collectors: list[object] = []  # WeakMethod | callable
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get("counter", Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get("gauge", Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+        **labels: str,
+    ) -> Histogram:
+        key = ("histogram", name, _labelset(labels))
+        with self._lock:
+            found = self._instruments.get(key)
+            if found is None:
+                found = Histogram(name, buckets=buckets, help=help, labels=key[2])
+                self._instruments[key] = found
+            return found  # type: ignore[return-value]
+
+    def _get(self, kind: str, cls: type, name: str, help: str, labels: dict) -> object:
+        key = (kind, name, _labelset(labels))
+        with self._lock:
+            found = self._instruments.get(key)
+            if found is None:
+                found = cls(name, help=help, labels=key[2])
+                self._instruments[key] = found
+            return found
+
+    def register_collector(self, collector) -> None:
+        """Register a callable returning an iterable of :class:`Sample`.
+
+        Bound methods are held weakly (the idiom for long-lived kernel
+        objects); plain functions/closures are held strongly.
+        """
+        ref: object
+        if hasattr(collector, "__self__"):
+            ref = weakref.WeakMethod(collector)
+        else:
+            ref = collector
+        with self._lock:
+            self._collectors.append(ref)
+
+    def collect(self) -> tuple[list[Sample], list[Histogram]]:
+        """All live scalar samples (instruments + collectors, counters
+        summed across duplicate ``(name, labels)``) and all histograms."""
+        scalars: dict[tuple[str, str, LabelSet], Sample] = {}
+        histograms: list[Histogram] = []
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collectors = list(self._collectors)
+        for inst in instruments:
+            if isinstance(inst, Histogram):
+                histograms.append(inst)
+            elif isinstance(inst, Counter):
+                self._merge(scalars, Sample(inst.name, "counter", inst.labels,
+                                            inst.value, inst.help))
+            elif isinstance(inst, Gauge):
+                self._merge(scalars, Sample(inst.name, "gauge", inst.labels,
+                                            inst.value, inst.help))
+        dead: list[object] = []
+        for ref in collectors:
+            fn = ref() if isinstance(ref, weakref.WeakMethod) else ref
+            if fn is None:
+                dead.append(ref)
+                continue
+            for sample in fn():
+                self._merge(scalars, sample)
+        if dead:
+            with self._lock:
+                self._collectors = [r for r in self._collectors if r not in dead]
+        ordered = sorted(scalars.values(), key=lambda s: (s.name, s.labels))
+        histograms.sort(key=lambda h: (h.name, h.labels))
+        return ordered, histograms
+
+    @staticmethod
+    def _merge(scalars: dict, sample: Sample) -> None:
+        key = (sample.kind, sample.name, sample.labels)
+        found = scalars.get(key)
+        if found is None:
+            scalars[key] = sample
+        elif sample.kind == "counter":
+            scalars[key] = Sample(sample.name, sample.kind, sample.labels,
+                                  found.value + sample.value,
+                                  found.help or sample.help)
+        else:  # duplicate gauge: last registration wins
+            scalars[key] = sample
+
+    def scalar_value(self, name: str, **labels: str) -> float:
+        """Summed value of a counter/gauge series (collectors included)."""
+        want = _labelset(labels)
+        total = 0.0
+        seen = False
+        for sample in self.collect()[0]:
+            if sample.name == name and sample.labels == want:
+                total += sample.value
+                seen = True
+        if not seen:
+            raise KeyError(f"no series {name} with labels {dict(want)}")
+        return total
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every instrument is a shared no-op singleton."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", **labels: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+                  help: str = "", **labels: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def register_collector(self, collector) -> None:
+        pass
+
+    def collect(self) -> tuple[list[Sample], list[Histogram]]:
+        return [], []
+
+
+#: Shared disabled registry — the default ``metrics`` everywhere.
+NULL_REGISTRY = NullMetricsRegistry()

@@ -30,6 +30,12 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Hashable
 
+from repro.obs.metrics import NULL_REGISTRY
+
+#: Batch-occupancy histogram bounds (requests fused per dispatched
+#: group) — powers of two up to the default ``max_batch``.
+OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
 
 class QueueFullError(RuntimeError):
     """The bounded request queue is at capacity (shed with 429)."""
@@ -103,11 +109,42 @@ class MicroBatcher:
     max_batch: int = 32
     max_queue: int = 256
     stats: BatcherStats = field(default_factory=BatcherStats)
+    #: Optional :class:`repro.obs.MetricsRegistry`; the default no-op
+    #: registry keeps the intake path free of telemetry cost.
+    metrics: Any = NULL_REGISTRY
 
     def __post_init__(self) -> None:
         self._queue: asyncio.Queue = asyncio.Queue()
         self._closed = False
         self._task: asyncio.Task | None = None
+        # Metric mirrors of BatcherStats, incremented at the same sites
+        # so GET /stats and GET /metrics always agree.
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "repro_serve_submitted_total", help="Requests accepted by the batcher."
+        )
+        self._m_shed = m.counter(
+            "repro_serve_shed_total", help="Requests shed at the bounded queue (429)."
+        )
+        self._m_expired = m.counter(
+            "repro_serve_deadline_expired_total",
+            help="Requests whose deadline passed while queued (504).",
+        )
+        self._m_batches = m.counter(
+            "repro_serve_batches_total", help="Fused groups dispatched to compute."
+        )
+        self._m_batched_requests = m.counter(
+            "repro_serve_batched_requests_total",
+            help="Requests dispatched inside fused groups.",
+        )
+        self._m_occupancy = m.histogram(
+            "repro_serve_batch_occupancy",
+            buckets=OCCUPANCY_BUCKETS,
+            help="Requests fused per dispatched group.",
+        )
+        self._m_depth = m.gauge(
+            "repro_serve_queue_depth", help="Requests currently queued."
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -141,11 +178,14 @@ class MicroBatcher:
             raise BatcherClosedError("server is draining")
         if self._queue.qsize() >= self.max_queue:
             self.stats.shed += 1
+            self._m_shed.inc()
             raise QueueFullError(
                 f"queue depth {self._queue.qsize()} >= max {self.max_queue}"
             )
         self._queue.put_nowait(work)
         self.stats.submitted += 1
+        self._m_submitted.inc()
+        self._m_depth.set(self._queue.qsize())
         self.stats.depth_high_water = max(
             self.stats.depth_high_water, self._queue.qsize()
         )
@@ -194,9 +234,11 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         now = loop.time()
         live: list[PendingWork] = []
+        self._m_depth.set(self._queue.qsize())
         for work in batch:
             if work.deadline <= now:
                 self.stats.expired += 1
+                self._m_expired.inc()
                 if not work.future.done():
                     work.future.set_exception(
                         DeadlineExceededError("deadline passed while queued")
@@ -211,6 +253,9 @@ class MicroBatcher:
             self.stats.dispatched_requests += len(group)
             self.stats.occupancy_sum += len(group)
             self.stats.max_occupancy = max(self.stats.max_occupancy, len(group))
+            self._m_batches.inc()
+            self._m_batched_requests.inc(len(group))
+            self._m_occupancy.observe(len(group))
             try:
                 await self.process(group)
             except Exception as exc:  # the group's failure, not the loop's

@@ -116,6 +116,32 @@ class ServeClient:
 
         return serve_stats_from_dict(self._request("GET", "/stats")[1])
 
+    def metrics(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition (the
+        worker must run with metrics enabled; 404 otherwise)."""
+        conn = self._connection()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            conn = self._connection()
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+        if response.status >= 400:
+            decoded = json.loads(raw) if raw else {}
+            if isinstance(decoded, dict) and decoded.get("kind") == "serve_error":
+                raise ServeClientError(
+                    response.status, ServeError.from_dict(decoded)
+                )
+            raise ServeClientError(
+                response.status,
+                ServeError(error=str(decoded), status=response.status),
+            )
+        return raw.decode("utf-8")
+
     def diagnose(self, request: DiagnoseRequest) -> DiagnoseResponse:
         """``POST /diagnose`` one fail log."""
         _, decoded = self._request("POST", "/diagnose", request.to_dict())

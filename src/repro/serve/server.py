@@ -41,6 +41,8 @@ from repro.flow.serialize import (
     to_json,
 )
 from repro.flow.session import ArtifactCache, Session
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.serve.api import (
     AtpgRequest,
     AtpgResponse,
@@ -84,6 +86,9 @@ class ServeConfig:
     store: str | Path | None = None
     #: Worker identity in /stats (default: pid-<pid>).
     worker_id: str | None = None
+    #: Expose Prometheus metrics at ``GET /metrics``.  Off by default:
+    #: the no-op registry keeps every hot path telemetry-free.
+    metrics: bool = False
 
 
 @dataclass
@@ -107,16 +112,27 @@ class ReproServer:
 
     def __init__(self, config: ServeConfig | None = None) -> None:
         self.config = config or ServeConfig()
+        #: Metrics-only telemetry (null tracer: a long-lived service
+        #: must not grow an unbounded span tree).  Sessions, the store,
+        #: the batcher and the request loop all share this registry;
+        #: ``GET /metrics`` renders it.
+        self.telemetry = Telemetry.on() if self.config.metrics else NULL_TELEMETRY
         self.store: SharedArtifactStore | None = (
             SharedArtifactStore(self.config.store, worker_id=self.config.worker_id)
             if self.config.store is not None
             else None
         )
+        if self.store is not None:
+            # Attach before any Session exists so /stats and /metrics
+            # never diverge (Session re-attaching the same registry is
+            # a no-op).
+            self.store.attach_metrics(self.telemetry.metrics)
         self.batcher = MicroBatcher(
             process=self._process_group,
             window_s=self.config.batch_window_ms / 1000.0,
             max_batch=self.config.max_batch,
             max_queue=self.config.max_queue,
+            metrics=self.telemetry.metrics,
         )
         #: Single compute thread: Sessions are confined to it (no locks)
         #: and the vectorised engines saturate it; see the module note.
@@ -193,17 +209,32 @@ class ReproServer:
                         )
                     )
                     await writer.drain()
-                    self._responses[exc.status] = self._responses.get(exc.status, 0) + 1
+                    self._count_response(exc.status)
                     break
                 if request is None:
                     break
                 status, body, extra = await self._route(request)
                 keep = request.keep_alive and not self._draining
+                # A handler may override the content type (GET /metrics
+                # speaks Prometheus text, not JSON) via a header tuple.
+                content_type = "application/json"
+                passthrough = []
+                for name, value in extra:
+                    if name.lower() == "content-type":
+                        content_type = value
+                    else:
+                        passthrough.append((name, value))
                 writer.write(
-                    response_bytes(status, body, keep_alive=keep, extra_headers=extra)
+                    response_bytes(
+                        status,
+                        body,
+                        content_type=content_type,
+                        keep_alive=keep,
+                        extra_headers=tuple(passthrough),
+                    )
                 )
                 await writer.drain()
-                self._responses[status] = self._responses.get(status, 0) + 1
+                self._count_response(status)
                 if not keep:
                     break
         except (ConnectionError, asyncio.CancelledError):
@@ -217,11 +248,45 @@ class ReproServer:
 
     # -- routing -----------------------------------------------------------
 
+    #: Endpoints allowed as a ``path`` metric label; anything else is
+    #: folded into ``other`` so a URL scanner cannot explode cardinality.
+    KNOWN_PATHS = frozenset(
+        {"/healthz", "/stats", "/metrics", "/diagnose", "/atpg", "/sweep"}
+    )
+
+    def _count_response(self, status: int) -> None:
+        """The single response-accounting site: /stats dict + metric."""
+        self._responses[status] = self._responses.get(status, 0) + 1
+        self.telemetry.metrics.counter(
+            "repro_serve_responses_total",
+            help="HTTP responses written, by status code.",
+            status=str(status),
+        ).inc()
+
     async def _route(
         self, request: HttpRequest
     ) -> tuple[int, bytes, tuple[tuple[str, str], ...]]:
         path = request.target.split("?", 1)[0]
         self._requests[path] = self._requests.get(path, 0) + 1
+        label = path if path in self.KNOWN_PATHS else "other"
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "repro_serve_requests_total",
+            help="HTTP requests received, by endpoint.",
+            path=label,
+        ).inc()
+        with self.telemetry.tracer.span("serve.request", path=label) as span:
+            result = await self._route_inner(request, path)
+        metrics.histogram(
+            "repro_serve_request_seconds",
+            help="End-to-end request latency (queue wait included), by endpoint.",
+            path=label,
+        ).observe(span.seconds)
+        return result
+
+    async def _route_inner(
+        self, request: HttpRequest, path: str
+    ) -> tuple[int, bytes, tuple[tuple[str, str], ...]]:
         if request.method == "GET" and path == "/healthz":
             body = json.dumps(
                 {"status": "draining" if self._draining else "ok"}
@@ -230,6 +295,18 @@ class ReproServer:
         if request.method == "GET" and path == "/stats":
             body = to_json(serve_stats_to_dict(self.stats())).encode()
             return 200, body, ()
+        if request.method == "GET" and path == "/metrics":
+            if not self.config.metrics:
+                return (
+                    404,
+                    self._error_body(
+                        404, "metrics are disabled; restart with --metrics"
+                    ),
+                    (),
+                )
+            self._sync_gauges()
+            body = render_prometheus(self.telemetry.metrics).encode()
+            return 200, body, (("Content-Type", PROMETHEUS_CONTENT_TYPE),)
         handlers = {
             "/diagnose": self._handle_diagnose,
             "/atpg": self._handle_atpg,
@@ -387,7 +464,12 @@ class ReproServer:
         key = (circuit, scale)
         session = self._sessions.get(key)
         if session is None:
-            session = Session.from_name(circuit, scale=scale, cache=self.store)
+            session = Session.from_name(
+                circuit,
+                scale=scale,
+                cache=self.store,
+                telemetry=self.telemetry,
+            )
             self._sessions[key] = session
         return session
 
@@ -410,45 +492,45 @@ class ReproServer:
     def _compute_diagnose(self, items: list[_DiagnoseItem]) -> list[_Outcome]:
         from repro.diagnosis.inject import FailLog
 
-        start = time.perf_counter()
-        first = items[0].request
-        session = self._session(first.circuit, first.scale)
-        n_outputs = session.circuit.n_outputs
-        packed_by_ref: dict[str, Any] = {}
-        logs = []
-        for item in items:
-            if item.pattern_set.width != session.circuit.n_inputs:
-                raise RequestValidationError(
-                    f"patterns are {item.pattern_set.width} bits wide, circuit "
-                    f"{first.circuit!r} has {session.circuit.n_inputs} inputs"
+        with self.telemetry.tracer.span("serve.compute.diagnose") as span:
+            first = items[0].request
+            session = self._session(first.circuit, first.scale)
+            n_outputs = session.circuit.n_outputs
+            packed_by_ref: dict[str, Any] = {}
+            logs = []
+            for item in items:
+                if item.pattern_set.width != session.circuit.n_inputs:
+                    raise RequestValidationError(
+                        f"patterns are {item.pattern_set.width} bits wide, circuit "
+                        f"{first.circuit!r} has {session.circuit.n_inputs} inputs"
+                    )
+                if any(len(r) != n_outputs for r in item.request.responses):
+                    raise RequestValidationError(
+                        f"responses must be {n_outputs} bits wide for {first.circuit!r}"
+                    )
+                if len(item.request.responses) != len(item.pattern_set.patterns):
+                    raise RequestValidationError(
+                        f"{len(item.request.responses)} responses for "
+                        f"{len(item.pattern_set.patterns)} patterns"
+                    )
+                log = FailLog(
+                    circuit_name=session.circuit.name,
+                    patterns=list(item.pattern_set.patterns),
+                    responses=[
+                        BitVector.from_string(r) for r in item.request.responses
+                    ],
                 )
-            if any(len(r) != n_outputs for r in item.request.responses):
-                raise RequestValidationError(
-                    f"responses must be {n_outputs} bits wide for {first.circuit!r}"
-                )
-            if len(item.request.responses) != len(item.pattern_set.patterns):
-                raise RequestValidationError(
-                    f"{len(item.request.responses)} responses for "
-                    f"{len(item.pattern_set.patterns)} patterns"
-                )
-            log = FailLog(
-                circuit_name=session.circuit.name,
-                patterns=list(item.pattern_set.patterns),
-                responses=[
-                    BitVector.from_string(r) for r in item.request.responses
-                ],
+                packed = packed_by_ref.get(item.ref)
+                if packed is None:
+                    packed = session.packed_patterns(log.patterns)
+                    packed_by_ref[item.ref] = packed
+                logs.append(log.attach_packed(packed))
+            results = session.diagnose_batch(
+                logs,
+                method=first.method,
+                top_k=[item.request.top_k for item in items],
             )
-            packed = packed_by_ref.get(item.ref)
-            if packed is None:
-                packed = session.packed_patterns(log.patterns)
-                packed_by_ref[item.ref] = packed
-            logs.append(log.attach_packed(packed))
-        results = session.diagnose_batch(
-            logs,
-            method=first.method,
-            top_k=[item.request.top_k for item in items],
-        )
-        seconds = round(time.perf_counter() - start, 6)
+            seconds = span.elapsed6()
         outcomes = []
         for item, result in zip(items, results):
             result_payload = diagnosis_result_to_dict(result)
@@ -467,22 +549,22 @@ class ReproServer:
     def _compute_atpg(self, items: list[AtpgRequest]) -> list[_Outcome]:
         outcomes = []
         for request in items:
-            start = time.perf_counter()
-            session = self._session(request.circuit, request.scale)
-            config = replace(
-                session.config,
-                seed=request.seed,
-                max_random_patterns=request.max_random_patterns,
-                backtrack_limit=request.backtrack_limit,
-                atpg_engine=request.engine,
-            )
-            from_memo = session.has_atpg(config)
-            result = session.atpg_for(config)
-            response = AtpgResponse(
-                result=atpg_result_to_dict(result),
-                from_memo=from_memo,
-                seconds=round(time.perf_counter() - start, 6),
-            )
+            with self.telemetry.tracer.span("serve.compute.atpg") as span:
+                session = self._session(request.circuit, request.scale)
+                config = replace(
+                    session.config,
+                    seed=request.seed,
+                    max_random_patterns=request.max_random_patterns,
+                    backtrack_limit=request.backtrack_limit,
+                    atpg_engine=request.engine,
+                )
+                from_memo = session.has_atpg(config)
+                result = session.atpg_for(config)
+                response = AtpgResponse(
+                    result=atpg_result_to_dict(result),
+                    from_memo=from_memo,
+                    seconds=span.elapsed6(),
+                )
             outcomes.append(_Outcome(body=response.to_dict()))
         return outcomes
 
@@ -492,43 +574,65 @@ class ReproServer:
 
         outcomes = []
         for request in items:
-            start = time.perf_counter()
-            sessions = {
-                name: self._session(name, request.scale)
-                for name in request.circuits
-            }
-            grid = sweep(
-                list(request.circuits),
-                list(request.tpgs),
-                base_config=PipelineConfig(seed=request.seed),
-                evolution_lengths=list(request.evolution_lengths),
-                scale=request.scale,
-                sessions=sessions,
-                cache=self.store,
-            )
-            cells = tuple(
-                {
-                    "circuit": o.circuit,
-                    "tpg": o.tpg,
-                    "evolution_length": o.config.evolution_length,
-                    "n_triplets": o.result.n_triplets,
-                    "test_length": o.result.test_length,
-                    "n_necessary": o.result.n_necessary,
-                    "n_from_solver": o.result.n_from_solver,
-                    "from_cache": o.from_cache,
-                    "seconds": round(o.seconds, 4),
+            with self.telemetry.tracer.span("serve.compute.sweep") as span:
+                sessions = {
+                    name: self._session(name, request.scale)
+                    for name in request.circuits
                 }
-                for o in grid
-            )
-            response = SweepResponse(
-                cells=cells,
-                n_cached=grid.n_cached,
-                seconds=round(time.perf_counter() - start, 6),
-            )
+                grid = sweep(
+                    list(request.circuits),
+                    list(request.tpgs),
+                    base_config=PipelineConfig(seed=request.seed),
+                    evolution_lengths=list(request.evolution_lengths),
+                    scale=request.scale,
+                    sessions=sessions,
+                    cache=self.store,
+                )
+                cells = tuple(
+                    {
+                        "circuit": o.circuit,
+                        "tpg": o.tpg,
+                        "evolution_length": o.config.evolution_length,
+                        "n_triplets": o.result.n_triplets,
+                        "test_length": o.result.test_length,
+                        "n_necessary": o.result.n_necessary,
+                        "n_from_solver": o.result.n_from_solver,
+                        "from_cache": o.from_cache,
+                        "seconds": round(o.seconds, 4),
+                    }
+                    for o in grid
+                )
+                response = SweepResponse(
+                    cells=cells,
+                    n_cached=grid.n_cached,
+                    seconds=span.elapsed6(),
+                )
             outcomes.append(_Outcome(body=response.to_dict()))
         return outcomes
 
     # -- stats -------------------------------------------------------------
+
+    def _sync_gauges(self) -> None:
+        """Refresh point-in-time gauges just before a /metrics scrape
+        (counters update at their event sites; gauges are sampled)."""
+        m = self.telemetry.metrics
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        m.gauge(
+            "repro_serve_uptime_seconds", help="Seconds since the listener bound."
+        ).set(round(uptime, 3))
+        m.gauge(
+            "repro_serve_open_connections", help="Live client connections."
+        ).set(len(self._conn_tasks))
+        m.gauge(
+            "repro_serve_pattern_sets", help="Pattern sets registered in memory."
+        ).set(len(self._pattern_sets))
+        m.gauge(
+            "repro_serve_sessions", help="Resident (circuit, scale) sessions."
+        ).set(len(self._sessions))
 
     def stats(self) -> dict[str, Any]:
         """The ``GET /stats`` counters document."""

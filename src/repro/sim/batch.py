@@ -313,6 +313,47 @@ class BatchFaultSimulator:
         self.plan_builds = 0
         self.plan_cache_hits = 0
         self.plan_subsets = 0
+        #: Throughput counters: pattern-axis words per fault-free pass,
+        #: and faults retired from scan windows by fault dropping.
+        self.words_simulated = 0
+        self.faults_dropped = 0
+        # Telemetry stays collector-based: the hot loops above touch
+        # plain ints only, and a registry samples them at scrape time.
+        self._metrics = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Export this simulator's counters through ``metrics`` (a
+        :class:`repro.obs.MetricsRegistry`).
+
+        Registers a scrape-time collector over the plain ``int``
+        counters, so the simulate/scan hot paths stay instruction-
+        identical whether telemetry is on or off.  The registry holds
+        the collector weakly — it dies with the simulator.  Counters
+        from several simulators on one registry sum into one series.
+        """
+        if metrics is None or not getattr(metrics, "enabled", False):
+            return
+        if self._metrics is metrics:
+            return
+        self._metrics = metrics
+        metrics.register_collector(self._metric_samples)
+
+    def _metric_samples(self):
+        from repro.obs.metrics import Sample
+
+        rows = (
+            ("repro_sim_plan_builds_total", self.plan_builds,
+             "Cone-union batch plans compiled."),
+            ("repro_sim_plan_cache_hits_total", self.plan_cache_hits,
+             "Batch plans served from the LRU plan cache."),
+            ("repro_sim_plan_subsets_total", self.plan_subsets,
+             "O(batch) plan subsets taken during fault-drop scans."),
+            ("repro_sim_words_simulated_total", self.words_simulated,
+             "Pattern-axis 64-bit words through fault-free simulation."),
+            ("repro_sim_faults_dropped_total", self.faults_dropped,
+             "Faults retired early by window-scan fault dropping."),
+        )
+        return [Sample(name, "counter", (), value, help) for name, value, help in rows]
 
     # ------------------------------------------------------------------
     # public API
@@ -486,6 +527,7 @@ class BatchFaultSimulator:
             self._good_buf = np.empty(
                 (self.compiled.n_nodes, n_words), dtype=np.uint64
             )
+        self.words_simulated += n_words
         return self.compiled.simulate_words(packed.words, out=self._good_buf)
 
     def _batches(self, faults: Sequence[Fault]) -> Iterator[tuple[Fault, ...]]:
@@ -556,6 +598,7 @@ class BatchFaultSimulator:
                     words = detect[row]
                     word_offset = int(np.flatnonzero(words)[0])
                     word = int(words[word_offset])
+                    self.faults_dropped += 1
                     yield fault_index, (
                         (word_start + word_offset) * 64
                         + (word & -word).bit_length()

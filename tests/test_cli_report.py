@@ -314,3 +314,96 @@ class TestSolutionReport:
             if line.startswith("| ") and "delta" not in line
         ]
         assert len(data_rows) == result.n_triplets
+
+
+class TestCliTrace:
+    """The --trace / `repro trace` surface (acceptance: the span tree
+    accounts for >=90% of the command's wall time)."""
+
+    def test_run_trace_covers_wall_time(self, tmp_path, capsys):
+        from repro.obs import validate_trace_document
+
+        path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--circuit", "c17",
+                    "--evolution-length", "8",
+                    "--trace", str(path),
+                ]
+            )
+            == 0
+        )
+        document = validate_trace_document(json.loads(path.read_text()))
+        (root,) = document["spans"]
+        assert root["name"] == "repro.run"
+        assert root["attrs"]["circuit"] == "c17"
+        child_names = {c["name"] for c in root["children"]}
+        assert "session.setup" in child_names
+        assert "session.run" in child_names
+
+        def walk(span):
+            yield span["name"]
+            for child in span["children"]:
+                yield from walk(child)
+
+        all_names = set(walk(root))
+        # The flow stages appear as descendants of session.run.
+        assert {"flow.detection_matrix", "flow.set_cover", "flow.trim"} <= all_names
+        covered = sum(c["seconds"] for c in root["children"])
+        assert covered >= 0.9 * root["seconds"]
+
+    def test_diagnose_trace_covers_wall_time(self, tmp_path):
+        from repro.obs import validate_trace_document
+
+        path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "diagnose",
+                    "--circuit", "c17",
+                    "--patterns", "16",
+                    "--trace", str(path),
+                ]
+            )
+            == 0
+        )
+        document = validate_trace_document(json.loads(path.read_text()))
+        (root,) = document["spans"]
+        assert root["name"] == "repro.diagnose"
+        covered = sum(c["seconds"] for c in root["children"])
+        assert covered >= 0.9 * root["seconds"]
+        session_span = next(
+            c for c in root["children"] if c["name"] == "session.diagnose"
+        )
+        assert "flow.diagnosis" in {c["name"] for c in session_span["children"]}
+
+    def test_trace_subcommand_renders_profile(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        main(
+            [
+                "run",
+                "--circuit", "c17",
+                "--evolution-length", "8",
+                "--trace", str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.run" in out
+        assert "share" in out
+        assert "flow.detection_matrix" in out
+
+    def test_trace_subcommand_rejects_non_trace_document(self, tmp_path):
+        path = tmp_path / "not-a-trace.json"
+        path.write_text(json.dumps({"schema_version": 2, "kind": "pipeline_result"}))
+        with pytest.raises(Exception):
+            main(["trace", str(path)])
+
+    def test_run_without_trace_writes_nothing(self, tmp_path, capsys):
+        assert (
+            main(["run", "--circuit", "c17", "--evolution-length", "8"]) == 0
+        )
+        assert list(tmp_path.iterdir()) == []

@@ -41,6 +41,10 @@ EXAMPLE_ARGS: dict[str, list[str]] = {
         "--circuit", "c499", "--patterns", "48",
         "--requests", "12", "--clients", "4",
     ],
+    "metrics_scrape.py": [
+        "--circuit", "c17", "--patterns", "32",
+        "--requests", "6", "--clients", "3",
+    ],
 }
 
 #: Modules whose docstrings carry executable ``>>>`` examples — keep in
@@ -99,10 +103,16 @@ def test_markdown_links_resolve():
 
 def test_docs_tree_complete():
     """The docs/ tree the README table of contents promises."""
-    for name in ("architecture.md", "internals-bitpacking.md", "benchmarks.md"):
+    docs = (
+        "architecture.md",
+        "internals-bitpacking.md",
+        "benchmarks.md",
+        "observability.md",
+    )
+    for name in docs:
         assert (REPO_ROOT / "docs" / name).is_file(), name
     readme = (REPO_ROOT / "README.md").read_text()
-    for name in ("architecture.md", "internals-bitpacking.md", "benchmarks.md"):
+    for name in docs:
         assert f"docs/{name}" in readme, f"README TOC missing docs/{name}"
     for example in EXAMPLE_ARGS:
         assert f"examples/{example}" in readme, (

@@ -23,7 +23,9 @@ SUBPACKAGES = [
     "repro.faults",
     "repro.flow",
     "repro.gatsby",
+    "repro.obs",
     "repro.reseeding",
+    "repro.serve",
     "repro.setcover",
     "repro.sim",
     "repro.tpg",

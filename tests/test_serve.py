@@ -646,3 +646,114 @@ class TestGracefulShutdown:
             thread.join(timeout=30)
         assert len(results) == 3
         assert all(r.result["kind"] == "diagnosis_result" for r in results)
+
+
+# ----------------------------------------------------------------------
+# GET /metrics
+# ----------------------------------------------------------------------
+
+
+class TestServeMetrics:
+    def test_metrics_404_when_disabled(self, client):
+        # The module-scope server runs without --metrics.
+        with pytest.raises(ServeClientError) as excinfo:
+            client.metrics()
+        assert excinfo.value.status == 404
+        assert "metrics" in excinfo.value.error.error
+
+    def test_stats_and_metrics_agree_after_traffic(self, scenario, tmp_path):
+        """Every counter in GET /stats appears in GET /metrics with the
+        same value.  The comparison runs on the drained server (between
+        two live scrapes each self-observes the other's request), after
+        a scripted sequence covering 200/404/405 responses, batching,
+        and store traffic."""
+        from repro.obs import parse_prometheus_text, render_prometheus
+        from repro.serve.server import ReproServer
+
+        _, patterns, log = scenario
+        background = BackgroundServer(
+            ServeConfig(
+                port=0,
+                batch_window_ms=5.0,
+                max_batch=8,
+                store=tmp_path / "store",
+                metrics=True,
+            )
+        )
+        with background:
+            with ServeClient(background.host, background.port) as c:
+                for _ in range(3):
+                    c.diagnose(
+                        DiagnoseRequest(
+                            circuit="c17",
+                            patterns=tuple(p.to_string() for p in patterns),
+                            responses=tuple(
+                                r.to_string() for r in log.responses
+                            ),
+                            method="dictionary",
+                        )
+                    )
+                c.atpg(AtpgRequest(circuit="c17", max_random_patterns=64))
+                with pytest.raises(ServeClientError) as excinfo:
+                    c._request("GET", "/no-such")
+                assert excinfo.value.status == 404
+                with pytest.raises(ServeClientError) as excinfo:
+                    c._request("GET", "/diagnose")
+                assert excinfo.value.status == 405
+                c.healthz()
+                # A live scrape parses cleanly mid-traffic.  /diagnose
+                # saw 3 POSTs plus the 405 GET above.
+                live = parse_prometheus_text(c.metrics())
+                assert live['repro_serve_requests_total{path="/diagnose"}'] == 4
+                assert live["repro_serve_submitted_total"] >= 4
+        server = background.server
+        stats = server.stats()
+        series = parse_prometheus_text(
+            render_prometheus(server.telemetry.metrics)
+        )
+        # requests{path}: unknown paths fold into the "other" label.
+        expected_paths: dict[str, int] = {}
+        for path, count in stats["requests"].items():
+            label = path if path in ReproServer.KNOWN_PATHS else "other"
+            expected_paths[label] = expected_paths.get(label, 0) + count
+        for label, count in expected_paths.items():
+            key = f'repro_serve_requests_total{{path="{label}"}}'
+            assert series[key] == count, key
+        for status, count in stats["responses"].items():
+            key = f'repro_serve_responses_total{{status="{status}"}}'
+            assert series[key] == count, key
+        for stat_key, metric in {
+            "submitted": "repro_serve_submitted_total",
+            "batches": "repro_serve_batches_total",
+            "batched_requests": "repro_serve_batched_requests_total",
+            "expired": "repro_serve_deadline_expired_total",
+            "shed": "repro_serve_shed_total",
+        }.items():
+            assert series[metric] == stats["batcher"][stat_key], metric
+        # Store counters: per-kind metric series sum to the /stats totals.
+        for outcome in ("hits", "misses", "corrupt"):
+            total = sum(
+                value
+                for key, value in series.items()
+                if key.startswith(f"repro_cache_{outcome}_total")
+            )
+            assert total == stats["store"][outcome], outcome
+        # Latency histograms exist per exercised endpoint.
+        assert series['repro_serve_request_seconds_count{path="/diagnose"}'] == 4
+        assert series['repro_serve_request_seconds_bucket{path="/atpg",le="+Inf"}'] == 1
+        # Kernel counters flowed up from the compute sessions.
+        assert series["repro_sim_words_simulated_total"] > 0
+
+    def test_compute_seconds_still_stamped_without_metrics(self, client, scenario):
+        """The span helper keeps response timing live on the default
+        (telemetry-off) worker."""
+        _, patterns, log = scenario
+        response = client.diagnose(
+            DiagnoseRequest(
+                circuit="c17",
+                patterns=tuple(p.to_string() for p in patterns),
+                responses=tuple(r.to_string() for r in log.responses),
+            )
+        )
+        assert response.seconds > 0.0
+        assert response.seconds == round(response.seconds, 6)

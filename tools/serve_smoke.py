@@ -9,7 +9,10 @@ as a subprocess, then walks the lifecycle CI cares about:
 3. ``POST /diagnose`` on c17 returns a schema-stamped
    ``diagnose_response`` whose embedded payload round-trips through
    the serialize layer;
-4. SIGTERM drains cleanly: exit code 0 and the drain message on stdout.
+4. ``GET /metrics`` (the worker boots with ``--metrics``) returns a
+   Prometheus text exposition that the strict parser accepts and that
+   counts the traffic this script just sent;
+5. SIGTERM drains cleanly: exit code 0 and the drain message on stdout.
 
 Usage::
 
@@ -45,7 +48,7 @@ def main() -> int:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     server = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--metrics"],
         cwd=REPO_ROOT,
         env=env,
         stdout=subprocess.PIPE,
@@ -60,6 +63,7 @@ def main() -> int:
     # The client import needs src/ on the path too.
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.flow.serialize import diagnosis_result_from_dict
+    from repro.obs import parse_prometheus_text
     from repro.serve import DiagnoseRequest, ServeClient
 
     try:
@@ -78,6 +82,20 @@ def main() -> int:
             if response.result.get("kind") != "diagnosis_result":
                 return fail(f"unexpected payload kind: {response.result}", server)
             diagnosis_result_from_dict(response.result)  # schema round-trip
+            exposition = client.metrics()
+            try:
+                parsed = parse_prometheus_text(exposition)
+            except ValueError as error:
+                return fail(
+                    f"/metrics exposition unparseable: {error}\n{exposition}",
+                    server,
+                )
+            diagnoses = parsed.get('repro_serve_requests_total{path="/diagnose"}')
+            if not diagnoses or diagnoses < 1:
+                return fail(
+                    f"/metrics did not count the diagnose request: {parsed}",
+                    server,
+                )
     except Exception as error:  # noqa: BLE001 - smoke surface, report all
         return fail(f"request phase raised {error!r}", server)
 
@@ -90,7 +108,7 @@ def main() -> int:
         return fail(f"exit code {server.returncode}\noutput:\n{out}")
     if "drained cleanly" not in out:
         return fail(f"drain message missing from output:\n{out}")
-    print("serve smoke OK: healthz + diagnose + clean SIGTERM drain")
+    print("serve smoke OK: healthz + diagnose + metrics + clean SIGTERM drain")
     return 0
 
 
