@@ -1,0 +1,64 @@
+"""Small AST helpers shared by the analysis rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "parent_map",
+    "ancestors",
+    "dotted_name",
+    "is_kernel_function",
+    "kernel_functions",
+]
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent links for every node under ``tree``."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def ancestors(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> Iterator[ast.AST]:
+    """The chain of enclosing nodes, innermost first."""
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_kernel_function(node: ast.FunctionDef) -> bool:
+    """Does ``node`` carry the ``@kernel`` decorator (syntactically)?"""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name == "kernel" or name.endswith(".kernel"):
+            return True
+    return False
+
+
+def kernel_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    """Every ``@kernel``-decorated function in a module (any nesting)."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef) and is_kernel_function(node)
+    ]

@@ -1,0 +1,68 @@
+"""The committed findings baseline for gradual rule adoption.
+
+``repro check --update-baseline`` records every *current* finding in
+``.repro-baseline.json``; subsequent runs subtract baselined findings
+from the failure set, so a new rule can land enforcing-new-code-only
+while its backlog is burned down.  Entries match on content
+fingerprints (:func:`repro.analysis.findings.fingerprint`) rather than
+line numbers, so unrelated edits do not resurrect baselined findings.
+
+This repo ships an **empty** baseline on purpose: every true violation
+the shipped rules found was fixed (or carries a justified
+``# repro: allow[...]``) rather than baselined — the file exists so
+the workflow is exercised and the CI contract ("fails on any
+non-baselined finding") is explicit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BASELINE_NAME", "load_baseline", "save_baseline"]
+
+BASELINE_NAME = ".repro-baseline.json"
+_BASELINE_KIND = "check_baseline"
+_BASELINE_SCHEMA = 1
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """The baselined ``(rule, path, fingerprint)`` triples, or an empty
+    set when no baseline file exists."""
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("kind") != _BASELINE_KIND:
+        raise ValueError(f"{path} is not a check baseline")
+    if payload.get("schema_version") != _BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} has baseline schema {payload.get('schema_version')}, "
+            f"expected {_BASELINE_SCHEMA}"
+        )
+    return {
+        (entry["rule"], entry["path"], entry["fingerprint"])
+        for entry in payload.get("entries", ())
+    }
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = sorted(
+        {
+            (finding.rule, finding.path, finding.fingerprint)
+            for finding in findings
+        }
+    )
+    payload = {
+        "schema_version": _BASELINE_SCHEMA,
+        "kind": _BASELINE_KIND,
+        "entries": [
+            {"rule": rule, "path": rel_path, "fingerprint": fp}
+            for rule, rel_path, fp in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

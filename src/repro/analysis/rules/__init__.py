@@ -1,0 +1,67 @@
+"""The analysis rule registry.
+
+Each rule module registers one :class:`RuleSpec` — an id, a one-line
+description, and a ``check(ctx) -> list[Finding]`` callable — into
+:data:`RULES`, the same :class:`~repro.utils.registry.Registry` the
+TPG/solver/stage families use, so ``repro check --rule no-such-rule``
+gets the standard "did you mean" error for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.findings import Finding
+from repro.utils.registry import Registry
+
+__all__ = ["RULES", "RuleSpec", "register_rule"]
+
+CheckFn = Callable[[AnalysisContext], List[Finding]]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registered rule: identity plus its check entry point."""
+
+    id: str
+    description: str
+    check: CheckFn
+
+
+RULES: Registry[RuleSpec] = Registry("analysis rule")
+
+
+def register_rule(rule_id: str, description: str) -> Callable[[CheckFn], CheckFn]:
+    """Decorator: register ``check`` under ``rule_id``."""
+
+    def decorator(check: CheckFn) -> CheckFn:
+        RULES.register(rule_id, RuleSpec(rule_id, description, check))
+        return check
+
+    return decorator
+
+
+# Importing the rule modules populates the registry (kept at the bottom
+# so they can import register_rule from this partially-initialised
+# package without a cycle).
+from repro.analysis.rules import (  # noqa: E402  (registration imports)
+    asyncio_hygiene,
+    docs_links,
+    dtype_discipline,
+    kernel_purity,
+    public_api,
+    schema_kinds,
+    telemetry,
+)
+
+_ = (
+    kernel_purity,
+    dtype_discipline,
+    asyncio_hygiene,
+    telemetry,
+    schema_kinds,
+    public_api,
+    docs_links,
+)

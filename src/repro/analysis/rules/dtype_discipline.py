@@ -1,0 +1,118 @@
+"""Rule ``dtype-discipline`` — keep ``uint64`` planes in uint64.
+
+numpy's value-based promotion quietly turns ``uint64`` bit-planes into
+``int64`` (or ``float64``) when a bare Python int sneaks into an
+expression — ``words >> 3`` promotes, ``words >> np.uint64(3)`` does
+not — and a promoted plane corrupts every packed kernel downstream.
+This repo's convention (see ``docs/internals-bitpacking.md``) is to
+wrap shift amounts and masks in ``np.uint64(...)`` and to pass an
+explicit ``dtype=`` to every array constructor on a packed path.
+
+Scope: ``@kernel``-decorated functions (the same set as
+``kernel-purity``).  Two statically-decidable checks:
+
+* ``np.zeros/empty/ones/full/arange`` without an explicit ``dtype=``;
+* a shift (``<<`` / ``>>``) whose right operand is a bare integer
+  literal, unless the whole expression is already inside an
+  ``np.uint64(...)``-style scalar wrapper (Python-int math that gets
+  converted before it ever meets an array).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import (
+    ancestors,
+    dotted_name,
+    is_kernel_function,
+    parent_map,
+)
+from repro.analysis.context import AnalysisContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import register_rule
+
+RULE = "dtype-discipline"
+
+_CONSTRUCTORS = {"zeros", "empty", "ones", "full", "arange"}
+#: Calls that convert to a scalar dtype: bare-int math inside them is
+#: Python-int math, converted before touching any array.
+_SCALAR_WRAPPERS = {
+    "int",
+    "np.uint64",
+    "np.int64",
+    "np.uint8",
+    "np.uint32",
+    "np.int32",
+    "numpy.uint64",
+    "numpy.int64",
+}
+
+
+def _inside_scalar_wrapper(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    for ancestor in ancestors(node, parents):
+        if (
+            isinstance(ancestor, ast.Call)
+            and dotted_name(ancestor.func) in _SCALAR_WRAPPERS
+        ):
+            return True
+        if isinstance(ancestor, ast.FunctionDef):
+            break
+    return False
+
+
+@register_rule(
+    RULE,
+    "uint64 plane expressions must not mix in bare-int shifts or "
+    "dtype-less array constructors (silent int64/float64 promotion)",
+)
+def check(ctx: AnalysisContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in ctx.src_files():
+        tree = ctx.tree(path)
+        if tree is None:
+            continue
+        rel = ctx.rel(path)
+        for func in ast.walk(tree):
+            if not isinstance(func, ast.FunctionDef) or not is_kernel_function(func):
+                continue
+            parents = parent_map(func)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if (
+                        name.split(".")[-1] in _CONSTRUCTORS
+                        and name.startswith(("np.", "numpy."))
+                        and not any(kw.arg == "dtype" for kw in node.keywords)
+                    ):
+                        findings.append(
+                            Finding(
+                                RULE,
+                                rel,
+                                node.lineno,
+                                f"{name}(...) without dtype= in @kernel "
+                                f"'{func.name}'; packed buffers must pin uint64",
+                            )
+                        )
+                elif isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.LShift, ast.RShift)
+                ):
+                    right = node.right
+                    if (
+                        isinstance(right, ast.Constant)
+                        and isinstance(right.value, int)
+                        and not _inside_scalar_wrapper(node, parents)
+                    ):
+                        findings.append(
+                            Finding(
+                                RULE,
+                                rel,
+                                node.lineno,
+                                f"bare-int shift amount {right.value} in @kernel "
+                                f"'{func.name}' promotes uint64 planes; wrap it "
+                                "in np.uint64(...)",
+                            )
+                        )
+    return findings

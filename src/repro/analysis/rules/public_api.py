@@ -1,0 +1,107 @@
+"""Rule ``public-api`` — packages export deliberately, privates stay private.
+
+Two drift guards over the library surface:
+
+* every package ``__init__.py`` under ``src/repro`` must define
+  ``__all__`` (the public surface is pinned by
+  ``tests/test_public_api.py``; a package without ``__all__`` silently
+  re-exports whatever it happens to import);
+* no module imports another subpackage's ``_``-prefixed internals —
+  ``from repro.obs.metrics import _render_one`` from the serve layer
+  would couple it to observability internals that are free to change.
+  Private names are fair game *within* their own subpackage.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import register_rule
+
+RULE = "public-api"
+
+
+def _own_package(rel: str) -> str:
+    """The repro subpackage a source file belongs to ('' for root)."""
+    parts = rel.split("/")
+    # rel looks like src/repro/<pkg>/... or src/repro/<module>.py
+    if len(parts) >= 4 and parts[0] == "src" and parts[1] == "repro":
+        return parts[2]
+    return ""
+
+
+def _has_dunder_all(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                return True
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                return True
+    return False
+
+
+@register_rule(
+    RULE,
+    "package __init__ files define __all__ and no module imports "
+    "another subpackage's _-prefixed internals",
+)
+def check(ctx: AnalysisContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in ctx.src_files():
+        tree = ctx.tree(path)
+        if tree is None:
+            continue
+        rel = ctx.rel(path)
+        if path.name == "__init__.py" and not _has_dunder_all(tree):
+            findings.append(
+                Finding(
+                    RULE,
+                    rel,
+                    1,
+                    "package __init__ does not define __all__; pin the "
+                    "public surface explicitly",
+                )
+            )
+        own = _own_package(rel)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            module = node.module or ""
+            if module != "repro" and not module.startswith("repro."):
+                continue
+            parts = module.split(".")
+            target = parts[1] if len(parts) > 1 else ""
+            if target == own:
+                continue
+            private_module = next(
+                (p for p in parts[2:] if p.startswith("_")), None
+            )
+            if private_module is not None:
+                findings.append(
+                    Finding(
+                        RULE,
+                        rel,
+                        node.lineno,
+                        f"imports private module 'repro.{target}.{private_module}' "
+                        "from another subpackage",
+                    )
+                )
+                continue
+            for alias in node.names:
+                if alias.name.startswith("_"):
+                    findings.append(
+                        Finding(
+                            RULE,
+                            rel,
+                            node.lineno,
+                            f"imports private name '{alias.name}' from "
+                            f"'{module}' outside its subpackage",
+                        )
+                    )
+    return findings

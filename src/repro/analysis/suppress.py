@@ -1,0 +1,68 @@
+"""``# repro: allow[rule-id]`` suppression comments.
+
+The suppression grammar is deliberately strict::
+
+    packed = words << shift  # repro: allow[kernel-purity] scalar tail, O(1) words
+
+* the bracket carries one or more comma-separated rule ids;
+* the text after the bracket is the **justification** and is
+  mandatory — an empty justification is itself reported (rule id
+  ``bad-suppression``), as is a rule id the engine does not know;
+* an allow suppresses matching findings on its own line or on the
+  line directly below it (comment-above-statement style); the
+  ``kernel-purity`` rule additionally honours allows on a ``def`` /
+  decorator line for the whole function body (structural walks like
+  the LFSR clock loop are per-function decisions, not per-line ones).
+
+Only real ``#`` comments count: the scanner tokenizes the source, so
+the grammar showing up in a docstring or an error-message string (this
+module included) is not a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Allow", "find_allows", "allow_index"]
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+
+@dataclass(frozen=True)
+class Allow:
+    """One parsed suppression comment."""
+
+    line: int  # 1-based
+    rules: tuple[str, ...]
+    justification: str
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+def find_allows(source: str) -> list[Allow]:
+    """Every suppression comment in a file's source text."""
+    allows: list[Allow] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return allows
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        allows.append(Allow(token.start[0], rules, match.group(2).strip()))
+    return allows
+
+
+def allow_index(source: str) -> dict[int, Allow]:
+    """Line -> allow map for suppression lookups."""
+    return {allow.line: allow for allow in find_allows(source)}

@@ -62,6 +62,7 @@ from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
 from repro.sim.batch import BatchFaultSimulator
 from repro.sim.logic import CompiledCircuit
+from repro.utils.kernels import kernel
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -382,6 +383,8 @@ class BatchPodem:
     # the packed implication sweep
     # ------------------------------------------------------------------
 
+    # repro: allow[kernel-purity] O(depth x type-group) segmented sweep; each reduceat evaluates every lane at once
+    @kernel
     def _imply(self) -> None:
         """One segmented five-valued sweep: good and faulty machines for
         all lanes at once, per-lane fault forcings re-asserted level by

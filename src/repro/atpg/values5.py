@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.gates import GateType
+from repro.utils.kernels import kernel
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -42,12 +43,14 @@ __all__ = [
 ]
 
 
+@kernel
 def not_planes(v: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Three-valued NOT on packed planes: known lanes flip, X stays X
     (and the ``v & ~c == 0`` invariant is re-established)."""
     return c & ~v, c
 
 
+@kernel
 def reduce_gate_planes(
     gtype: GateType, v: np.ndarray, c: np.ndarray, axis: int = 1
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -86,6 +89,7 @@ def reduce_gate_planes(
     return out_v, out_c
 
 
+@kernel
 def reduceat_gate_planes(
     gtype: GateType, v: np.ndarray, c: np.ndarray, starts: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:

@@ -16,6 +16,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.utils.kernels import kernel
+
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
@@ -101,6 +103,7 @@ def eval_gate_bool(gtype: GateType, fanin_values: Sequence[int]) -> int:
     raise ValueError(f"unknown gate type {gtype!r}")
 
 
+@kernel
 def eval_gate_words(gtype: GateType, fanin_words: Sequence[np.ndarray]) -> np.ndarray:
     """Evaluate a gate on packed ``uint64`` word arrays (bitwise, so each
     word bit is an independent pattern).  All fanin arrays must share a
@@ -130,6 +133,7 @@ def eval_gate_words(gtype: GateType, fanin_words: Sequence[np.ndarray]) -> np.nd
     raise ValueError(f"unknown gate type {gtype!r}")
 
 
+@kernel
 def reduce_gate_words(
     gtype: GateType, stacked: np.ndarray, axis: int = 1
 ) -> np.ndarray:

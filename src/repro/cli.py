@@ -14,6 +14,9 @@ Subcommands:
 * ``diagnose`` — inject known stuck-at faults, capture the fail log,
   and run the diagnosis subsystem (effect-cause, dictionary, or
   signature-only MISR bisection) against it;
+* ``check``   — run the repo's own AST-based static-analysis rules
+  (kernel purity, dtype discipline, asyncio hygiene, telemetry
+  consistency, schema-kind coverage, public-API drift, docs links);
 * ``table1`` / ``table2`` / ``figure2`` — the experiment drivers
   (equivalent to ``python -m repro.experiments.<name>``).
 """
@@ -421,6 +424,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """``repro check`` — the repo's own static-analysis rule engine.
+
+    Examples::
+
+        python -m repro check                       # all rules, human output
+        python -m repro check --json                # machine-readable report
+        python -m repro check --rule kernel-purity  # one rule (repeatable)
+        python -m repro check --update-baseline     # accept current findings
+    """
+    from pathlib import Path
+
+    from repro.analysis import BASELINE_NAME, run_check, save_baseline
+    from repro.utils.registry import UnknownComponentError
+
+    root = Path(args.root).resolve()
+    baseline = Path(args.baseline) if args.baseline else root / BASELINE_NAME
+    try:
+        if args.update_baseline:
+            # Baseline nothing: run with an empty baseline, save what remains.
+            report = run_check(root, rules=args.rule, baseline_path=None)
+            count = save_baseline(baseline, report.findings)
+            print(f"baseline {baseline}: {count} entries")
+            return 0
+        report = run_check(
+            root,
+            rules=args.rule,
+            baseline_path=baseline if baseline.exists() else None,
+        )
+    except UnknownComponentError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace`` — render a ``--trace`` document as a profile table.
 
@@ -679,6 +721,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="expose Prometheus text metrics at GET /metrics",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    check = sub.add_parser(
+        "check", help="run the repo's static-analysis rules"
+    )
+    check.add_argument(
+        "--root", default=".", help="repository root to analyse (default: cwd)"
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable; default: all registered rules)",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of accepted findings "
+        "(default: <root>/.repro-baseline.json when present)",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema-versioned check report as JSON",
+    )
+    check.set_defaults(func=_cmd_check)
 
     trace = sub.add_parser(
         "trace", help="render a --trace span document as a profile table"

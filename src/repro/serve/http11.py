@@ -77,13 +77,13 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
     try:
         line = await reader.readline()
     except (ValueError, ConnectionError):
-        raise HttpError(431, "request line too long")
+        raise HttpError(431, "request line too long") from None
     if not line:
         return None
     try:
         method, target, version = line.decode("ascii").split()
     except ValueError:
-        raise HttpError(400, f"malformed request line {line[:120]!r}")
+        raise HttpError(400, f"malformed request line {line[:120]!r}") from None
     if version not in ("HTTP/1.1", "HTTP/1.0"):
         raise HttpError(400, f"unsupported HTTP version {version!r}")
 
@@ -93,7 +93,7 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
         try:
             raw = await reader.readline()
         except (ValueError, ConnectionError):
-            raise HttpError(431, "header line too long")
+            raise HttpError(431, "header line too long") from None
         if raw in (b"\r\n", b"\n"):
             break
         if not raw:
@@ -114,7 +114,7 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
         try:
             length = int(length_text)
         except ValueError:
-            raise HttpError(400, f"bad Content-Length {length_text!r}")
+            raise HttpError(400, f"bad Content-Length {length_text!r}") from None
         if length < 0:
             raise HttpError(400, "negative Content-Length")
         if length > MAX_BODY_BYTES:

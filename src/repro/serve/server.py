@@ -381,7 +381,7 @@ class ReproServer:
     async def _handle_diagnose(self, payload: dict[str, Any]):
         request = DiagnoseRequest.from_dict(payload)
         validate_diagnose_request(request)
-        pattern_set, ref = self._resolve_pattern_set(request)
+        pattern_set, ref = await self._resolve_pattern_set(request)
         if pattern_set is None:
             return (
                 400,
@@ -416,12 +416,15 @@ class ReproServer:
 
     # -- pattern-set registry ----------------------------------------------
 
-    def _resolve_pattern_set(
+    async def _resolve_pattern_set(
         self, request: DiagnoseRequest
     ) -> tuple[PatternSet | None, str]:
         """Inline patterns register (and persist) a shared
         :class:`PatternSet`; a ``patterns_ref`` resolves memory first,
-        then the shared store (another worker may have published it)."""
+        then the shared store (another worker may have published it).
+        Store reads/writes hit the filesystem, so they run on the
+        compute executor instead of blocking the event loop."""
+        loop = asyncio.get_running_loop()
         if request.patterns is not None:
             width = len(request.patterns[0])
             if any(len(p) != width for p in request.patterns):
@@ -445,12 +448,16 @@ class ReproServer:
                 )
                 self._pattern_sets[ref] = pattern_set
                 if self.store is not None:
-                    self.store.put(ref, pattern_set.to_dict())
+                    await loop.run_in_executor(
+                        self._executor, self.store.put, ref, pattern_set.to_dict()
+                    )
             return self._pattern_sets[ref], ref
         ref = request.patterns_ref or ""
         pattern_set = self._pattern_sets.get(ref)
         if pattern_set is None and self.store is not None:
-            payload = self.store.get(ref, "pattern_set")
+            payload = await loop.run_in_executor(
+                self._executor, self.store.get, ref, "pattern_set"
+            )
             if payload is not None:
                 pattern_set = PatternSet.from_dict(payload)
                 self._pattern_sets[ref] = pattern_set

@@ -67,6 +67,7 @@ from repro.utils.bitvec import (
     PatternsLike,
     as_packed,
 )
+from repro.utils.kernels import kernel
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -248,6 +249,8 @@ class _BatchPlan:
             forced.append((buf_row, fault_row, words, level, evaluated))
         return forced
 
+    # repro: allow[kernel-purity] O(depth) level walk + O(batch) forcing re-assert; each group evaluates word-parallel
+    @kernel
     def detect_words(self, good: np.ndarray) -> np.ndarray:
         """Per-fault detection words against ``good`` values.
 
@@ -520,6 +523,7 @@ class BatchFaultSimulator:
     # internals
     # ------------------------------------------------------------------
 
+    @kernel
     def _good_values(self, patterns: PatternsLike) -> np.ndarray:
         packed = as_packed(patterns, self.compiled.n_inputs)
         n_words = packed.n_words

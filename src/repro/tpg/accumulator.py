@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.tpg.base import TestPatternGenerator
 from repro.utils.bitvec import BitVector
+from repro.utils.kernels import kernel
 
 
 class AdderAccumulator(TestPatternGenerator):
@@ -44,6 +45,7 @@ class AdderAccumulator(TestPatternGenerator):
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
         return state + sigma
 
+    @kernel
     def _evolve_batch_values(
         self, deltas: np.ndarray, sigmas: np.ndarray, length: int
     ) -> np.ndarray:
@@ -67,6 +69,7 @@ class SubtracterAccumulator(TestPatternGenerator):
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
         return state - sigma
 
+    @kernel
     def _evolve_batch_values(
         self, deltas: np.ndarray, sigmas: np.ndarray, length: int
     ) -> np.ndarray:
@@ -95,6 +98,8 @@ class MultiplierAccumulator(TestPatternGenerator):
     def next_state(self, state: BitVector, sigma: BitVector) -> BitVector:
         return state * sigma
 
+    # repro: allow[kernel-purity] O(length) geometric walk, never O(patterns*width); each clock multiplies the whole seed bank
+    @kernel
     def _evolve_batch_values(
         self, deltas: np.ndarray, sigmas: np.ndarray, length: int
     ) -> np.ndarray:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.tpg.base import TestPatternGenerator
 from repro.utils.bitvec import BitVector
+from repro.utils.kernels import kernel
 
 #: Primitive-polynomial tap tables (Fibonacci form, taps as bit indices
 #: contributing to the feedback XOR) for a range of widths.  For widths
@@ -137,6 +138,8 @@ def default_polynomials(width: int, count: int = 4) -> list[tuple[int, ...]]:
     return bank
 
 
+# repro: allow[kernel-purity] fixed log2(64)=6-step XOR fold; shift count is independent of bank size
+@kernel
 def _parity_words(words: np.ndarray) -> np.ndarray:
     """Per-element parity (0/1) of a ``uint64`` array, via XOR folding."""
     for shift in (32, 16, 8, 4, 2, 1):
@@ -144,6 +147,8 @@ def _parity_words(words: np.ndarray) -> np.ndarray:
     return words & np.uint64(1)
 
 
+# repro: allow[kernel-purity] O(length) clock walk, never O(seeds); each step advances the whole seed bank
+@kernel
 def _lfsr_walk_values(
     deltas: np.ndarray, masks: np.ndarray | np.uint64, width: int, length: int
 ) -> np.ndarray:

@@ -31,6 +31,8 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.utils.kernels import kernel
+
 WORD_BITS = 64
 _WORD_MASK = (1 << WORD_BITS) - 1
 
@@ -215,6 +217,7 @@ def n_words_for(n_patterns: int) -> int:
     return (n_patterns + WORD_BITS - 1) // WORD_BITS
 
 
+@kernel
 def tail_mask(n_patterns: int) -> np.ndarray:
     """Per-word mask of valid pattern bits for ``n_patterns`` patterns."""
     n_words = n_words_for(n_patterns)
@@ -263,6 +266,7 @@ def unpack_words_scalar(words: np.ndarray, n_patterns: int) -> list[BitVector]:
     return patterns
 
 
+@kernel
 def pack_values(values: np.ndarray, width: int) -> np.ndarray:
     """Pack a ``uint64`` value-per-pattern array into word-parallel rows.
 
@@ -443,6 +447,7 @@ class PackedPatterns:
         mask[:needed] = tail_mask(self.n_patterns)
         return mask
 
+    @kernel
     def slice(self, start: int, stop: int) -> "PackedPatterns":
         """The packed form of ``patterns[start:stop]``.
 
@@ -487,6 +492,8 @@ class PackedPatterns:
         )
 
 
+# repro: allow[kernel-purity] O(pieces) funnel-shift walk, never O(patterns); each piece ORs in word-parallel
+@kernel
 def concat_packed(pieces: Sequence[PackedPatterns]) -> PackedPatterns:
     """Concatenate packed pattern sequences without unpacking.
 

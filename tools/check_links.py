@@ -1,93 +1,39 @@
 #!/usr/bin/env python3
-"""Markdown link checker for the repo's documentation tree.
+"""Markdown link checker — thin shim over the ``docs-links`` rule.
 
-Scans markdown files for inline links/images (``[text](target)``) and
-reference definitions (``[label]: target``), then verifies that every
-*local* target exists relative to the file (external ``http(s)``/
-``mailto`` links and pure in-page ``#anchors`` are skipped — CI must
-not flake on the network).  For local targets carrying an anchor
-(``file.md#section``) the anchor is checked against the target's ATX
-headings using GitHub's slug rules (lowercase, punctuation stripped,
-spaces to dashes).
-
-Usage::
-
-    python tools/check_links.py README.md docs
-
-Exits non-zero listing every broken link.  ``tests/test_docs.py`` runs
-this over the repository, and CI's docs job runs it standalone.
+The checker proper now lives in the static-analysis engine
+(:mod:`repro.analysis.rules.docs_links`), where ``repro check`` runs it
+alongside the other rules; this script keeps the historical standalone
+surface — the CLI (``python tools/check_links.py README.md docs``) and
+the ``check_paths`` / ``github_slug`` / ``heading_slugs`` helpers that
+``tests/test_docs.py`` imports — working without ``PYTHONPATH``.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-#: Inline [text](target) — target up to the first unescaped ')'; also
-#: matches images (the leading '!' is irrelevant to target checking).
-_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-#: Reference definitions: [label]: target
-_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
-_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
-_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
+from repro.analysis.rules.docs_links import (  # noqa: E402
+    check_file,
+    check_paths,
+    github_slug,
+    heading_slugs,
+    iter_links,
+)
 
-def github_slug(heading: str) -> str:
-    """GitHub's anchor slug for an ATX heading."""
-    text = re.sub(r"[`*_~]", "", heading.strip().lower())
-    text = re.sub(r"[^\w\- ]", "", text)
-    return text.replace(" ", "-")
-
-
-def heading_slugs(markdown: str) -> set[str]:
-    """All anchor slugs a markdown document defines."""
-    return {
-        github_slug(match)
-        for match in _HEADING.findall(_CODE_FENCE.sub("", markdown))
-    }
-
-
-def iter_links(markdown: str):
-    """Every link target in a document (inline + reference definitions),
-    with fenced code blocks masked out."""
-    stripped = _CODE_FENCE.sub("", markdown)
-    yield from _INLINE.findall(stripped)
-    yield from _REFDEF.findall(stripped)
-
-
-def check_file(path: Path) -> list[str]:
-    """Broken-link descriptions for one markdown file."""
-    markdown = path.read_text(encoding="utf-8")
-    errors: list[str] = []
-    for target in iter_links(markdown):
-        if target.startswith(("http://", "https://", "mailto:")):
-            continue
-        base, _, anchor = target.partition("#")
-        if not base:  # pure in-page anchor
-            if anchor and github_slug(anchor) not in heading_slugs(markdown):
-                errors.append(f"{path}: missing in-page anchor #{anchor}")
-            continue
-        resolved = (path.parent / base).resolve()
-        if not resolved.exists():
-            errors.append(f"{path}: broken link -> {target}")
-            continue
-        if anchor and resolved.suffix == ".md":
-            slugs = heading_slugs(resolved.read_text(encoding="utf-8"))
-            if github_slug(anchor) not in slugs:
-                errors.append(f"{path}: missing anchor -> {target}")
-    return errors
-
-
-def check_paths(paths: list[str]) -> list[str]:
-    """Check files and (recursively) directories of markdown."""
-    errors: list[str] = []
-    for entry in paths:
-        path = Path(entry)
-        files = sorted(path.rglob("*.md")) if path.is_dir() else [path]
-        for markdown_file in files:
-            errors.extend(check_file(markdown_file))
-    return errors
+__all__ = [
+    "check_file",
+    "check_paths",
+    "github_slug",
+    "heading_slugs",
+    "iter_links",
+    "main",
+]
 
 
 def main(argv: list[str]) -> int:
