@@ -48,6 +48,7 @@ RULE = "kernel-purity"
 #: trees stay small).
 HOT_MODULES = (
     "src/repro/sim/batch.py",
+    "src/repro/sim/threeval.py",
     "src/repro/atpg/values5.py",
     "src/repro/atpg/batch_podem.py",
     "src/repro/utils/bitvec.py",

@@ -19,19 +19,29 @@ The plane formulas are the word-parallel counterparts of the scalar
 three-valued evaluators (``_eval3`` in :mod:`repro.atpg.podem`); the
 property suite in ``tests/test_atpg_batch.py`` pins them to each other
 component by component.
+
+The per-gate plane algebra itself (:func:`not_planes` /
+:func:`reduce_gate_planes`, plus the three-valued X code ``X3``) lives
+in :mod:`repro.circuit.gates` next to the 2-valued gate kernels — the
+3-valued simulators (:mod:`repro.sim.threeval`) share it — and is
+re-exported here for the historical import path.  The segmented
+:func:`reduceat_gate_planes` (the batch PODEM's ragged-fanin sweep) is
+this module's own kernel.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.circuit.gates import GateType
+from repro.circuit.gates import (
+    X3,
+    GateType,
+    not_planes,
+    reduce_gate_planes,
+)
 from repro.utils.kernels import kernel
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-#: Three-valued X code used by the unpacked (per-lane) views.
-X3 = 2
 
 __all__ = [
     "X3",
@@ -41,52 +51,6 @@ __all__ = [
     "planes_from_codes",
     "codes_from_planes",
 ]
-
-
-@kernel
-def not_planes(v: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Three-valued NOT on packed planes: known lanes flip, X stays X
-    (and the ``v & ~c == 0`` invariant is re-established)."""
-    return c & ~v, c
-
-
-@kernel
-def reduce_gate_planes(
-    gtype: GateType, v: np.ndarray, c: np.ndarray, axis: int = 1
-) -> tuple[np.ndarray, np.ndarray]:
-    """Evaluate many same-type gates over stacked fanin planes.
-
-    ``v`` / ``c`` carry the gathered fanin planes of a group of gates
-    sharing one type and arity; ``axis`` is the fanin axis (reduced
-    away).  This is the five-valued counterpart of
-    :func:`repro.circuit.gates.reduce_gate_words` — one call evaluates a
-    whole (level, type, arity) group for every packed lane:
-
-    * AND — known when all fanins are known, or some fanin is a known 0;
-    * OR  — known when all fanins are known, or some fanin is a known 1;
-    * XOR — known only when every fanin is known;
-    * inverting types apply :func:`not_planes` to the base result.
-    """
-    if gtype in (GateType.AND, GateType.NAND):
-        out_v = np.bitwise_and.reduce(v, axis=axis)
-        out_c = np.bitwise_and.reduce(c, axis=axis) | np.bitwise_or.reduce(
-            c & ~v, axis=axis
-        )
-    elif gtype in (GateType.OR, GateType.NOR):
-        out_v = np.bitwise_or.reduce(v, axis=axis)
-        # v & ~c == 0, so a set value bit is always a *known* 1.
-        out_c = np.bitwise_and.reduce(c, axis=axis) | out_v
-    elif gtype in (GateType.XOR, GateType.XNOR):
-        out_c = np.bitwise_and.reduce(c, axis=axis)
-        out_v = np.bitwise_xor.reduce(v, axis=axis) & out_c
-    elif gtype in (GateType.NOT, GateType.BUF):
-        out_v = np.take(v, 0, axis=axis)
-        out_c = np.take(c, 0, axis=axis)
-    else:
-        raise ValueError(f"gate type {gtype!r} has no plane-reduction form")
-    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
-        out_v = out_c & ~out_v
-    return out_v, out_c
 
 
 @kernel

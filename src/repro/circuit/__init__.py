@@ -11,7 +11,7 @@ transformation (:mod:`repro.circuit.fullscan`), exactly as in the paper
 from repro.circuit.gates import GateType, eval_gate_bool, eval_gate_words
 from repro.circuit.netlist import Circuit, Gate
 from repro.circuit.bench import parse_bench, parse_bench_file, write_bench
-from repro.circuit.fullscan import full_scan_view
+from repro.circuit.fullscan import full_scan_view, partial_scan_view
 from repro.circuit.generate import GeneratorSpec, generate_circuit
 from repro.circuit.validate import CircuitError, validate_circuit
 
@@ -25,6 +25,7 @@ __all__ = [
     "eval_gate_words",
     "full_scan_view",
     "generate_circuit",
+    "partial_scan_view",
     "parse_bench",
     "parse_bench_file",
     "validate_circuit",

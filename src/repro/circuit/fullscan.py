@@ -10,6 +10,8 @@ inputs (pseudo-primary outputs, PPO).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit, Gate
 
@@ -43,6 +45,59 @@ def full_scan_view(circuit: Circuit, name: str | None = None) -> Circuit:
     if result.is_sequential():
         raise AssertionError("full-scan view still contains DFFs")
     return result
+
+
+def partial_scan_view(
+    circuit: Circuit,
+    scanned: Sequence[str] | set[str],
+    name: str | None = None,
+) -> tuple[Circuit, list[str]]:
+    """The combinational view of ``circuit`` with only ``scanned`` DFFs
+    on the scan chain.
+
+    Scanned flip-flops transform exactly as in :func:`full_scan_view`
+    (output -> PPI, data input -> ``_ppo`` PPO).  *Unscanned* flip-flops
+    are also removed, but their outputs become plain primary inputs
+    whose power-up state is **unknown**: the returned ``x_inputs`` lists
+    them, and callers must drive them with X (three-valued simulation)
+    — their data inputs are not observable, so no PPO is created.
+
+    Returns ``(view, x_inputs)``; ``x_inputs`` is empty for a
+    combinational circuit or when every flip-flop is scanned (then the
+    view equals :func:`full_scan_view`).
+    """
+    scanned_set = set(scanned)
+    dff_names = {
+        g.name for g in circuit.gates.values() if g.gtype is GateType.DFF
+    }
+    unknown = scanned_set - dff_names
+    if unknown:
+        raise ValueError(
+            f"scanned nets are not flip-flops of {circuit.name!r}: "
+            f"{sorted(unknown)}"
+        )
+    if not circuit.is_sequential():
+        return circuit.copy(name or circuit.name), []
+    inputs = list(circuit.inputs)
+    outputs = list(circuit.outputs)
+    gates: list[Gate] = []
+    x_inputs: list[str] = []
+    for gate in circuit.gates.values():
+        if gate.gtype is GateType.DFF:
+            inputs.append(gate.name)
+            if gate.name in scanned_set:
+                ppo_net = f"{gate.name}{PPO_SUFFIX}"
+                gates.append(Gate(ppo_net, GateType.BUF, (gate.fanins[0],)))
+                outputs.append(ppo_net)
+            else:
+                x_inputs.append(gate.name)
+        else:
+            gates.append(gate)
+    view_name = name or f"{circuit.name}_pscan"
+    result = Circuit(view_name, inputs, outputs, gates)
+    if result.is_sequential():
+        raise AssertionError("partial-scan view still contains DFFs")
+    return result, x_inputs
 
 
 def scan_chain_length(circuit: Circuit) -> int:

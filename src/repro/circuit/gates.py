@@ -1,11 +1,22 @@
 """Gate types and their evaluation semantics.
 
-Two evaluation flavours are provided:
+Three evaluation flavours are provided:
 
 * :func:`eval_gate_bool` — scalar 0/1 evaluation, used by the
   event-driven reference simulator and the ATPG's forward implication;
 * :func:`eval_gate_words` — bit-parallel evaluation over ``uint64``
-  words (64 patterns at once), used by the packed simulators.
+  words (64 patterns at once), used by the packed simulators;
+* the **plane algebra** (:func:`eval_gate_planes` /
+  :func:`reduce_gate_planes` / :func:`not_planes`) — three-valued
+  (0/1/X) bit-parallel evaluation over paired value/care ``uint64``
+  planes (``v`` = value bit, ``c`` = care bit, invariant
+  ``v & ~c == 0``; see ``docs/internals-bitpacking.md``), shared by the
+  3-valued logic/fault simulators (:mod:`repro.sim.threeval`) and the
+  five-valued batch PODEM lanes (:mod:`repro.atpg.values5`).
+
+The scalar three-valued reference :func:`eval_gate_3v_scalar` (codes
+0/1/2, 2 = X) is the oracle the plane kernels are differentially
+tested against.
 """
 
 from __future__ import annotations
@@ -158,6 +169,144 @@ def reduce_gate_words(
     if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
         out = out ^ _ALL_ONES
     return out
+
+
+#: Three-valued X code used by the scalar oracle and the unpacked
+#: (per-pattern / per-lane) views of the plane algebra.
+X3 = 2
+
+
+def eval_gate_3v_scalar(gtype: GateType, fanin_codes: Sequence[int]) -> int:
+    """Scalar three-valued gate evaluation on codes 0/1/2 (2 = X).
+
+    The from-the-definition oracle for the plane kernels: a gate output
+    is known exactly when the known fanins force it (a known
+    controlling value) or every fanin is known.  Deliberately slow and
+    obvious — the differential suite pins :func:`eval_gate_planes` and
+    :func:`reduce_gate_planes` against this, bit for bit.
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype in (GateType.INPUT, GateType.DFF):
+        raise ValueError(f"{gtype.name} nodes are not evaluated; they are sources")
+    if any(code not in (0, 1, X3) for code in fanin_codes):
+        raise ValueError(f"three-valued codes must be 0/1/2, got {fanin_codes!r}")
+    invert = inversion_parity(gtype)
+    if gtype in (GateType.AND, GateType.NAND):
+        if any(code == 0 for code in fanin_codes):
+            base = 0
+        elif all(code == 1 for code in fanin_codes):
+            base = 1
+        else:
+            return X3
+    elif gtype in (GateType.OR, GateType.NOR):
+        if any(code == 1 for code in fanin_codes):
+            base = 1
+        elif all(code == 0 for code in fanin_codes):
+            base = 0
+        else:
+            return X3
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        if any(code == X3 for code in fanin_codes):
+            return X3
+        base = reduce(lambda a, b: a ^ b, fanin_codes)
+    elif gtype in (GateType.NOT, GateType.BUF):
+        if fanin_codes[0] == X3:
+            return X3
+        base = fanin_codes[0]
+    else:
+        raise ValueError(f"unknown gate type {gtype!r}")
+    return base ^ invert
+
+
+@kernel
+def not_planes(v: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Three-valued NOT on packed planes: known lanes flip, X stays X
+    (and the ``v & ~c == 0`` invariant is re-established)."""
+    return c & ~v, c
+
+
+# repro: allow[kernel-purity] O(arity) fanin-list walk; every element op is word-parallel
+@kernel
+def eval_gate_planes(
+    gtype: GateType,
+    fanin_v: Sequence[np.ndarray],
+    fanin_c: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate one gate on packed three-valued planes.
+
+    ``fanin_v`` / ``fanin_c`` carry one (value, care) plane pair per
+    fanin; the result is the output plane pair — the plane counterpart
+    of :func:`eval_gate_words`, with the same X semantics as
+    :func:`eval_gate_3v_scalar`:
+
+    * AND — known where all fanins are known or some fanin is a known 0;
+    * OR  — known where all fanins are known or some fanin is a known 1;
+    * XOR — known only where every fanin is known;
+    * inverting types flip the value bit on known lanes.
+    """
+    if gtype is GateType.CONST0:
+        raise ValueError("CONST0 has no fanin; materialise planes at the caller")
+    if gtype is GateType.CONST1:
+        raise ValueError("CONST1 has no fanin; materialise planes at the caller")
+    if gtype in (GateType.INPUT, GateType.DFF):
+        raise ValueError(f"{gtype.name} nodes are not evaluated; they are sources")
+    if gtype in (GateType.AND, GateType.NAND):
+        out_v = reduce(np.bitwise_and, fanin_v)
+        out_c = reduce(np.bitwise_and, fanin_c) | reduce(
+            np.bitwise_or, [c & ~v for v, c in zip(fanin_v, fanin_c)]
+        )
+    elif gtype in (GateType.OR, GateType.NOR):
+        out_v = reduce(np.bitwise_or, fanin_v)
+        # v & ~c == 0, so a set value bit is always a *known* 1.
+        out_c = reduce(np.bitwise_and, fanin_c) | out_v
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        out_c = reduce(np.bitwise_and, fanin_c)
+        out_v = reduce(np.bitwise_xor, fanin_v) & out_c
+    elif gtype in (GateType.NOT, GateType.BUF):
+        out_v, out_c = fanin_v[0].copy(), fanin_c[0].copy()
+    else:
+        raise ValueError(f"gate type {gtype!r} has no plane evaluation form")
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+        out_v = out_c & ~out_v
+    return out_v, out_c
+
+
+@kernel
+def reduce_gate_planes(
+    gtype: GateType, v: np.ndarray, c: np.ndarray, axis: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate many same-type gates over stacked fanin planes.
+
+    ``v`` / ``c`` carry the gathered fanin planes of a group of gates
+    sharing one type and arity; ``axis`` is the fanin axis (reduced
+    away).  This is the three-valued counterpart of
+    :func:`reduce_gate_words` — one call evaluates a whole (level,
+    type, arity) group for every packed lane, with the X semantics of
+    :func:`eval_gate_planes`.
+    """
+    if gtype in (GateType.AND, GateType.NAND):
+        out_v = np.bitwise_and.reduce(v, axis=axis)
+        out_c = np.bitwise_and.reduce(c, axis=axis) | np.bitwise_or.reduce(
+            c & ~v, axis=axis
+        )
+    elif gtype in (GateType.OR, GateType.NOR):
+        out_v = np.bitwise_or.reduce(v, axis=axis)
+        # v & ~c == 0, so a set value bit is always a *known* 1.
+        out_c = np.bitwise_and.reduce(c, axis=axis) | out_v
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        out_c = np.bitwise_and.reduce(c, axis=axis)
+        out_v = np.bitwise_xor.reduce(v, axis=axis) & out_c
+    elif gtype in (GateType.NOT, GateType.BUF):
+        out_v = np.take(v, 0, axis=axis)
+        out_c = np.take(c, 0, axis=axis)
+    else:
+        raise ValueError(f"gate type {gtype!r} has no plane-reduction form")
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+        out_v = out_c & ~out_v
+    return out_v, out_c
 
 
 def controlling_value(gtype: GateType) -> int | None:

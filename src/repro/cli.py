@@ -128,6 +128,7 @@ def _pipeline_config_from_args(args: argparse.Namespace):
         atpg_engine=args.atpg_engine,
         grasp_iterations=args.grasp_iterations,
         matrix_workers=args.workers,
+        values=args.values,
     )
 
 
@@ -516,6 +517,14 @@ def _add_flow_knobs(parser: argparse.ArgumentParser) -> None:
         choices=["batch", "recursive"],
         help="deterministic top-off engine: fault-parallel batch PODEM "
         "(default) or the scalar recursive oracle",
+    )
+    parser.add_argument(
+        "--values",
+        type=int,
+        default=2,
+        choices=[2, 3],
+        help="logic value system: 2 (default) or 3 (0/1/X planes — "
+        "pessimistic detection, X-masked MISR signatures)",
     )
     parser.add_argument(
         "--grasp-iterations",

@@ -56,6 +56,10 @@ class PipelineConfig:
     atpg_engine: str = "batch"
     grasp_iterations: int = 30
     matrix_workers: int | None = None
+    #: Logic value system: ``2`` (the paper's fully scanned, fully
+    #: deterministic setup) or ``3`` (0/1/X planes — fault detection is
+    #: pessimistic and MISR signatures are X-masked).
+    values: int = 2
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-compatible)."""
@@ -166,10 +170,21 @@ class ReseedingPipeline:
     ) -> None:
         self.circuit = circuit
         self.config = config or PipelineConfig()
+        if self.config.values not in (2, 3):
+            raise ValueError(
+                f"config.values must be 2 or 3, got {self.config.values!r}"
+            )
         self.tpg = (
             make_tpg(tpg, circuit.n_inputs) if isinstance(tpg, str) else tpg
         )
-        self.simulator = simulator or FaultSimulator(circuit)
+        if simulator is not None:
+            self.simulator = simulator
+        elif self.config.values == 3:
+            from repro.sim.threeval import XFaultSimulator
+
+            self.simulator = XFaultSimulator(circuit)
+        else:
+            self.simulator = FaultSimulator(circuit)
         self._atpg_result = atpg_result
 
     def run(self, progress: ProgressHook | None = None) -> PipelineResult:

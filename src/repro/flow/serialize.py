@@ -24,7 +24,10 @@ import numpy as np
 #: Bump whenever the serialised layout of any artefact changes.
 #: v2: ``atpg_result`` gained ``measured_coverage`` (re-simulated
 #: coverage of the final test set — reported, not assumed).
-SCHEMA_VERSION = 2
+#: v3: ``pipeline_config`` gained ``values`` (2- vs 3-valued logic);
+#: the knob changes simulation semantics, so cached artefacts from
+#: value-system-unaware writers must not be served.
+SCHEMA_VERSION = 3
 
 
 class SchemaMismatchError(ValueError):

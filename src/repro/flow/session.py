@@ -40,6 +40,7 @@ from repro.flow.serialize import (
 from repro.flow.stages import ProgressHook, StageContext, StageEvent, run_flow
 from repro.obs import NULL_TELEMETRY, Telemetry, stage_hook
 from repro.sim.fault import FaultSimulator
+from repro.sim.threeval import XFaultSimulator
 from repro.tpg.base import TestPatternGenerator
 from repro.tpg.registry import make_tpg
 
@@ -305,7 +306,18 @@ class Session:
         self.circuit = circuit
         self.name = circuit.name
         self.config = config or PipelineConfig()
-        self.simulator = simulator or FaultSimulator(circuit)
+        if self.config.values not in (2, 3):
+            raise ValueError(
+                f"config.values must be 2 or 3, got {self.config.values!r}"
+            )
+        if simulator is not None:
+            self.simulator = simulator
+        elif self.config.values == 3:
+            # 3-valued engine: X-free patterns give bit-identical results,
+            # X-carrying stimuli degrade coverage pessimistically.
+            self.simulator = XFaultSimulator(circuit)
+        else:
+            self.simulator = FaultSimulator(circuit)
         self.cache = (
             ArtifactCache(cache)
             if isinstance(cache, (str, Path))

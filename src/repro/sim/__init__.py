@@ -9,6 +9,9 @@
   baseline.
 * :mod:`repro.sim.event` — a slow, obviously-correct single-pattern
   reference simulator used to cross-check the packed engines.
+* :mod:`repro.sim.threeval` — three-valued (0/1/X) packed simulation:
+  :func:`logic_sim_3v` true-value planes and the
+  :class:`XFaultSimulator` with pessimistic (X-masking) detection.
 """
 
 from repro.sim.logic import CompiledCircuit, simulate_patterns
@@ -16,7 +19,8 @@ from repro.sim.batch import BatchFaultSimulator, parallel_detection_rows
 from repro.sim.fault import FaultSimulator, SerialFaultSimulator, detected_faults
 from repro.sim.event import ReferenceSimulator
 from repro.sim.sequential import SequentialSimulator
-from repro.sim.misr import Misr, aliasing_rate, golden_signature
+from repro.sim.misr import Misr, aliasing_rate, golden_signature, x_masked_signature
+from repro.sim.threeval import XFaultSimulator, logic_sim_3v, logic_sim_3v_scalar
 
 __all__ = [
     "BatchFaultSimulator",
@@ -26,9 +30,13 @@ __all__ = [
     "Misr",
     "ReferenceSimulator",
     "SequentialSimulator",
+    "XFaultSimulator",
     "aliasing_rate",
     "detected_faults",
     "golden_signature",
+    "logic_sim_3v",
+    "logic_sim_3v_scalar",
     "parallel_detection_rows",
     "simulate_patterns",
+    "x_masked_signature",
 ]

@@ -57,7 +57,13 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.circuit.gates import GateType, eval_gate_words, reduce_gate_words
+from repro.circuit.gates import (
+    GateType,
+    eval_gate_planes,
+    eval_gate_words,
+    reduce_gate_planes,
+    reduce_gate_words,
+)
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault
 from repro.sim.logic import CompiledCircuit
@@ -248,6 +254,90 @@ class _BatchPlan:
                 )
             forced.append((buf_row, fault_row, words, level, evaluated))
         return forced
+
+    def _forced_planes(
+        self, good_v: np.ndarray, good_c: np.ndarray
+    ) -> list[tuple[int, int, np.ndarray, np.ndarray, int, bool]]:
+        """Three-valued counterpart of :meth:`_forced_words`:
+        (buffer row, fault row, value words, care words, level, evaluated).
+
+        A stuck-at site is always *known* (care = all ones) — the defect
+        pins the net regardless of what the machine knows elsewhere.  A
+        branch forcing re-evaluates the reading gate in the plane algebra
+        with the faulty pin pinned known-stuck, so X on the healthy pins
+        propagates pessimistically through the forced gate too.
+        """
+        n_words = good_v.shape[1]
+        forced: list[tuple[int, int, np.ndarray, np.ndarray, int, bool]] = []
+        ones = np.full(n_words, _ALL_ONES, dtype=np.uint64)
+        for buf_row, fault_row, stuck, branch, level, evaluated in self.forcings:
+            stuck_words = (
+                np.full(n_words, _ALL_ONES, dtype=np.uint64)
+                if stuck
+                else np.zeros(n_words, dtype=np.uint64)
+            )
+            if branch is None:
+                v_words, c_words = stuck_words, ones
+            else:
+                gtype, fanins, pin = branch
+                v_words, c_words = eval_gate_planes(
+                    gtype,
+                    [
+                        stuck_words if j == pin else good_v[fanin_id]
+                        for j, fanin_id in enumerate(fanins)
+                    ],
+                    [
+                        ones if j == pin else good_c[fanin_id]
+                        for j, fanin_id in enumerate(fanins)
+                    ],
+                )
+            forced.append((buf_row, fault_row, v_words, c_words, level, evaluated))
+        return forced
+
+    # repro: allow[kernel-purity] O(depth) level walk + O(batch) forcing re-assert; each group evaluates word-parallel
+    @kernel
+    def detect_planes(
+        self, good_v: np.ndarray, good_c: np.ndarray
+    ) -> np.ndarray:
+        """Three-valued per-fault detection words against good planes.
+
+        ``good_v`` / ``good_c`` have shape ``(n_nodes, n_words)``; the
+        result has shape ``(n_faults, n_words)`` with a bit set where
+        some primary output is **known on both machines and differs** —
+        the pessimistic tester view: an X on either side never counts as
+        a detection (it would mask at the compactor), so 3-valued
+        coverage is ≤ 2-valued coverage, with equality on X-free input.
+        """
+        n_words = good_v.shape[1]
+        if not self.out_pos.size:
+            return np.zeros((self.n_faults, n_words), dtype=np.uint64)
+        buf_v = np.empty((self.n_buf, self.n_faults, n_words), dtype=np.uint64)
+        buf_c = np.empty((self.n_buf, self.n_faults, n_words), dtype=np.uint64)
+        if self.boundary_pos.size:
+            buf_v[self.boundary_pos] = good_v[self.boundary_ids][:, None, :]
+            buf_c[self.boundary_pos] = good_c[self.boundary_ids][:, None, :]
+        forced = self._forced_planes(good_v, good_c)
+        for buf_row, fault_row, v_words, c_words, _level, _evaluated in forced:
+            buf_v[buf_row, fault_row] = v_words
+            buf_c[buf_row, fault_row] = c_words
+        for level, groups in self.level_groups:
+            for gtype, out_pos, fanin_pos in groups:
+                # Gather shape: (group size, arity, batch, n_words).
+                out_v, out_c = reduce_gate_planes(
+                    gtype, buf_v[fanin_pos], buf_c[fanin_pos], axis=1
+                )
+                buf_v[out_pos] = out_v
+                buf_c[out_pos] = out_c
+            for buf_row, fault_row, v_words, c_words, force_level, evaluated in forced:
+                if evaluated and force_level == level:
+                    buf_v[buf_row, fault_row] = v_words
+                    buf_c[buf_row, fault_row] = c_words
+        diff = (
+            (buf_v[self.out_pos] ^ good_v[self.out_ids][:, None, :])
+            & buf_c[self.out_pos]
+            & good_c[self.out_ids][:, None, :]
+        )
+        return np.bitwise_or.reduce(diff, axis=0)
 
     # repro: allow[kernel-purity] O(depth) level walk + O(batch) forcing re-assert; each group evaluates word-parallel
     @kernel

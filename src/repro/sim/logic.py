@@ -18,12 +18,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.circuit.gates import GateType, reduce_gate_words
+from repro.circuit.gates import GateType, reduce_gate_planes, reduce_gate_words
 from repro.circuit.netlist import Circuit
 from repro.utils.bitvec import (
     WORD_BITS,
     BitVector,
     PackedPatterns,
+    PackedPlanes,
     as_packed,
     n_words_for,
     tail_mask,
@@ -183,6 +184,64 @@ class CompiledCircuit:
                 gtype, values[fanin_matrix], axis=1
             )
         return values
+
+    def simulate_planes(
+        self, input_value: np.ndarray, input_care: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Three-valued simulation over packed value/care planes.
+
+        ``input_value`` / ``input_care`` have shape
+        ``(n_inputs, n_words)`` with the invariant ``v & ~c == 0``
+        (see :class:`~repro.utils.bitvec.PackedPlanes`); the result is
+        the ``(n_nodes, n_words)`` plane pair for every node.  The walk
+        is the same levelized eval plan as :meth:`simulate_words`, with
+        :func:`~repro.circuit.gates.reduce_gate_planes` as the group
+        reducer — on all-care input the value plane is bit-identical to
+        the 2-valued simulation (the differential suite pins this).
+        """
+        if input_value.shape != input_care.shape:
+            raise ValueError(
+                f"plane shapes differ: {input_value.shape} vs {input_care.shape}"
+            )
+        if input_value.shape[0] != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input rows, got {input_value.shape[0]}"
+            )
+        n_words = input_value.shape[1]
+        values = np.empty((self.n_nodes, n_words), dtype=np.uint64)
+        cares = np.empty((self.n_nodes, n_words), dtype=np.uint64)
+        values[self.input_ids, :] = input_value
+        cares[self.input_ids, :] = input_care
+        # Constants are always known, whatever the inputs carry.
+        if self.const0_ids.size:
+            values[self.const0_ids, :] = 0
+            cares[self.const0_ids, :] = _ALL_ONES
+        if self.const1_ids.size:
+            values[self.const1_ids, :] = _ALL_ONES
+            cares[self.const1_ids, :] = _ALL_ONES
+        for gtype, out_ids, fanin_matrix in self.eval_groups:
+            out_v, out_c = reduce_gate_planes(
+                gtype, values[fanin_matrix], cares[fanin_matrix], axis=1
+            )
+            values[out_ids, :] = out_v
+            cares[out_ids, :] = out_c
+        return values, cares
+
+    def simulate_planes_packed(self, planes: PackedPlanes) -> PackedPlanes:
+        """Three-valued simulation of a :class:`~repro.utils.bitvec.
+        PackedPlanes` carrier; returns the primary-output planes (row
+        ``k`` = ``circuit.outputs[k]``)."""
+        if planes.width != self.n_inputs:
+            raise ValueError(
+                f"planes have width {planes.width}, expected {self.n_inputs}"
+            )
+        values, cares = self.simulate_planes(planes.value, planes.care)
+        mask = planes.tail_mask()
+        return PackedPlanes(
+            values[self.output_ids, :] & mask,
+            cares[self.output_ids, :] & mask,
+            planes.n_patterns,
+        )
 
     def simulate_patterns(
         self, patterns: Sequence[BitVector] | PackedPatterns

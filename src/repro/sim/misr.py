@@ -10,6 +10,17 @@ against the fault-free golden value.
 
 The aliasing probability of an n-bit MISR is ~2^-n; :func:`aliasing_rate`
 measures it empirically for the test suite.
+
+**X-masking** (:meth:`Misr.masked_step` / :meth:`Misr.masked_signature` /
+:func:`x_masked_signature`): a single X entering a MISR corrupts the
+whole signature — after one feedback shift the unknown smears across the
+register and the compare against the golden value is meaningless.  The
+standard tester fix is to *mask* unknown response bits to a fixed value
+(0 here) before compaction, so the signature stays deterministic and
+comparable; the price is that faults observable only on masked bits go
+undetected.  On an X-free response stream the masked signature is
+bit-identical to :meth:`Misr.signature` (the differential suite pins
+this).
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ from typing import Iterable, Sequence
 from repro.circuit.netlist import Circuit
 from repro.sim.logic import CompiledCircuit
 from repro.tpg.lfsr import taps_for_width
-from repro.utils.bitvec import BitVector
+from repro.utils.bitvec import BitVector, PackedPlanes, unpack_words
 
 
 class Misr:
@@ -52,6 +63,35 @@ class Misr:
             state = self.step(state, response)
         return state
 
+    def masked_step(
+        self, state: BitVector, value: BitVector, care: BitVector
+    ) -> BitVector:
+        """One X-masked compaction cycle: unknown response bits (care 0)
+        are forced to 0 before the XOR, so an X never enters the
+        register.  With ``care`` all ones this is exactly :meth:`step`."""
+        if care.width != self.width:
+            raise ValueError("care width must equal MISR width")
+        return self.step(state, value & care)
+
+    def masked_signature(
+        self,
+        responses: Iterable[tuple[BitVector, BitVector]],
+        seed: BitVector | None = None,
+    ) -> tuple[BitVector, int]:
+        """Compact ``(value, care)`` response pairs with X-masking.
+
+        Returns ``(signature, n_masked)`` where ``n_masked`` counts the
+        response bits that were forced to 0 because they carried X —
+        the tester's observability loss for this pattern sequence.
+        """
+        state = seed if seed is not None else BitVector.zeros(self.width)
+        all_ones = (1 << self.width) - 1
+        n_masked = 0
+        for value, care in responses:
+            n_masked += bin(~care.value & all_ones).count("1")
+            state = self.masked_step(state, value, care)
+        return state, n_masked
+
 
 def golden_signature(
     circuit: Circuit, patterns: Sequence[BitVector], misr: Misr | None = None
@@ -64,6 +104,28 @@ def golden_signature(
         )
     responses = CompiledCircuit(circuit).simulate_patterns(list(patterns))
     return misr.signature(responses)
+
+
+def x_masked_signature(
+    circuit: Circuit, planes: PackedPlanes, misr: Misr | None = None
+) -> tuple[BitVector, int]:
+    """The X-masked fault-free signature for a three-valued stimulus.
+
+    Simulates ``planes`` (0/1/X input patterns, one per lane) through the
+    three-valued engine, masks unknown output bits to 0 and compacts the
+    rest; returns ``(signature, n_masked)``.  For X-free stimuli this
+    equals :func:`golden_signature` on the same patterns with
+    ``n_masked == 0``.
+    """
+    misr = misr or Misr(circuit.n_outputs)
+    if misr.width != circuit.n_outputs:
+        raise ValueError(
+            f"MISR width {misr.width} != circuit output count {circuit.n_outputs}"
+        )
+    out = CompiledCircuit(circuit).simulate_planes_packed(planes)
+    values = unpack_words(out.value, out.n_patterns)
+    cares = unpack_words(out.care, out.n_patterns)
+    return misr.masked_signature(zip(values, cares))
 
 
 def aliasing_rate(

@@ -20,7 +20,12 @@ patterns at once.  This module provides
   as a ``uint64`` numpy array straight to the packed layout, no
   :class:`BitVector` round trip), and
 * :func:`concat_packed` — in-layout concatenation of packed sequences
-  (vectorized funnel shifts, no unpack/repack).
+  (vectorized funnel shifts, no unpack/repack), and
+* :class:`PackedPlanes` — the **three-valued** carrier: two bit-planes
+  per signal (``value`` + ``care``) encoding 0/1/X at the same word
+  parallelism, losslessly round-tripping with :class:`PackedPatterns`
+  for X-free data (:meth:`PackedPlanes.from_packed` /
+  :meth:`PackedPlanes.to_packed`).
 
 The layout invariants are documented in ``docs/internals-bitpacking.md``.
 """
@@ -538,6 +543,188 @@ def concat_packed(pieces: Sequence[PackedPatterns]) -> PackedPatterns:
     return PackedPatterns(out, total)
 
 
+#: Three-valued X code in the unpacked (per-pattern) code views: a code
+#: array holds 0, 1, or ``X_CODE`` per (input bit, pattern).
+X_CODE = 2
+
+
+@kernel
+def _pack_bit_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(width, n_patterns)`` 0/1 byte matrix into the
+    ``(width, n_words)`` ``uint64`` word layout (pattern ``64*w + k``
+    at bit ``k`` of word ``w``)."""
+    width, n_patterns = bits.shape
+    n_words = n_words_for(n_patterns) or 1
+    padded = np.zeros((width, n_words * WORD_BITS), dtype=np.uint8)
+    padded[:, :n_patterns] = bits
+    packed = np.packbits(padded, axis=1, bitorder="little")
+    return (
+        np.ascontiguousarray(packed)
+        .view(np.dtype("<u8"))
+        .astype(np.uint64, copy=False)
+    )
+
+
+@kernel
+def _unpack_bit_rows(words: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bit_rows`: word rows back to a
+    ``(width, n_patterns)`` 0/1 byte matrix."""
+    width = words.shape[0]
+    byte_view = (
+        np.ascontiguousarray(words)
+        .astype(np.dtype("<u8"), copy=False)
+        .view(np.uint8)
+        .reshape(width, -1)
+    )
+    return np.unpackbits(byte_view, axis=1, bitorder="little")[:, :n_patterns]
+
+
+class PackedPlanes:
+    """A three-valued (0/1/X) pattern sequence as paired bit-planes.
+
+    Each signal row carries **two** ``uint64`` planes in the
+    :class:`PackedPatterns` word layout:
+
+    * ``value`` — the value bit (meaningful only where care is set);
+    * ``care``  — the care bit (1 = known 0/1, 0 = unknown X);
+
+    with the invariant ``value & ~care == 0`` (X lanes carry value 0) —
+    the same encoding as the batch PODEM's five-valued lanes
+    (:mod:`repro.atpg.values5`), here along the *pattern* axis.  Like
+    :class:`PackedPatterns`, instances are immutable by convention:
+    plane arrays are shared between views and must not be written to,
+    and bits beyond ``n_patterns`` in the final word are unspecified —
+    consumers mask with :meth:`tail_mask`.
+    """
+
+    __slots__ = ("value", "care", "n_patterns", "width")
+
+    def __init__(
+        self, value: np.ndarray, care: np.ndarray, n_patterns: int
+    ) -> None:
+        value = np.asarray(value, dtype=np.uint64)
+        care = np.asarray(care, dtype=np.uint64)
+        if value.ndim != 2 or value.shape != care.shape:
+            raise ValueError(
+                f"plane shapes must match and be 2-D, got {value.shape} vs {care.shape}"
+            )
+        if not 0 <= n_patterns <= value.shape[1] * WORD_BITS:
+            raise ValueError(
+                f"{n_patterns} patterns do not fit in {value.shape[1]} words"
+            )
+        if bool(np.any(value & ~care)):
+            raise ValueError(
+                "plane invariant violated: value bits set on X lanes "
+                "(value & ~care != 0)"
+            )
+        self.value = value
+        self.care = care
+        self.n_patterns = n_patterns
+        self.width = int(value.shape[0])
+
+    @classmethod
+    def from_packed(cls, packed: PackedPatterns) -> "PackedPlanes":
+        """Lift a 2-valued packed sequence: every valid pattern bit
+        becomes a known 0/1 (care = 1), tail bits become X.  Lossless —
+        :meth:`to_packed` returns the exact words back."""
+        mask = packed.tail_mask()
+        care = np.broadcast_to(mask, packed.words.shape).copy()
+        return cls(packed.words & mask, care, packed.n_patterns)
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray) -> "PackedPlanes":
+        """Pack a ``(width, n_patterns)`` three-valued code matrix
+        (0/1/:data:`X_CODE`) into planes.  Inverse of :meth:`to_codes`;
+        bit-identical to :func:`planes_from_codes_scalar`."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.ndim != 2:
+            raise ValueError(f"codes must be 2-D, got shape {codes.shape}")
+        if bool(np.any(codes > X_CODE)):
+            raise ValueError(f"three-valued codes must be 0/1/{X_CODE}")
+        v = _pack_bit_rows((codes == 1).astype(np.uint8))
+        c = _pack_bit_rows((codes != X_CODE).astype(np.uint8))
+        return cls(v, c, int(codes.shape[1]))
+
+    def to_codes(self) -> np.ndarray:
+        """The planes back as a ``(width, n_patterns)`` code matrix."""
+        v = _unpack_bit_rows(self.value, self.n_patterns)
+        c = _unpack_bit_rows(self.care, self.n_patterns)
+        return np.where(c.astype(bool), v, np.uint8(X_CODE)).astype(np.uint8)
+
+    def to_packed(self) -> PackedPatterns:
+        """Drop back to the 2-valued carrier.
+
+        Only valid for X-free data: every valid pattern bit must be a
+        known 0/1.  Raises :class:`ValueError` when any X survives, so
+        an unknown can never silently decay to a hard 0.
+        """
+        mask = self.tail_mask()
+        if bool(np.any((self.care & mask) != mask)):
+            raise ValueError(
+                f"{self.x_count()} X lanes present; to_packed() requires "
+                "fully known (2-valued) data"
+            )
+        return PackedPatterns(self.value & mask, self.n_patterns)
+
+    @property
+    def n_words(self) -> int:
+        """Number of 64-pattern words per plane row."""
+        return int(self.value.shape[1])
+
+    def tail_mask(self) -> np.ndarray:
+        """Per-word mask of valid pattern bits (see
+        :meth:`PackedPatterns.tail_mask`)."""
+        needed = n_words_for(self.n_patterns)
+        if needed == self.n_words:
+            return tail_mask(self.n_patterns)
+        mask = np.zeros(self.n_words, dtype=np.uint64)
+        mask[:needed] = tail_mask(self.n_patterns)
+        return mask
+
+    def x_count(self) -> int:
+        """Number of X lanes across all rows and valid patterns."""
+        unknown = ~self.care & self.tail_mask()
+        return int(
+            np.unpackbits(
+                np.ascontiguousarray(unknown).view(np.uint8), bitorder="little"
+            ).sum()
+        )
+
+    def __len__(self) -> int:
+        return self.n_patterns
+
+    def __bool__(self) -> bool:
+        return self.n_patterns > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedPlanes(n_patterns={self.n_patterns}, width={self.width}, "
+            f"x_count={self.x_count()})"
+        )
+
+
+def planes_from_codes_scalar(codes: np.ndarray) -> "PackedPlanes":
+    """Reference scalar implementation of :meth:`PackedPlanes.from_codes`.
+
+    One Python-level bit test per (row, pattern) — obviously correct,
+    kept as the oracle for the vectorized packer.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    width, n_patterns = codes.shape
+    n_words = n_words_for(n_patterns) or 1
+    value = np.zeros((width, n_words), dtype=np.uint64)
+    care = np.zeros((width, n_words), dtype=np.uint64)
+    for row in range(width):
+        for index in range(n_patterns):
+            word, bit = divmod(index, WORD_BITS)
+            code = int(codes[row, index])
+            if code == 1:
+                value[row, word] |= np.uint64(1 << bit)
+            if code != X_CODE:
+                care[row, word] |= np.uint64(1 << bit)
+    return PackedPlanes(value, care, n_patterns)
+
+
 #: What simulator pattern arguments accept: an unpacked sequence or the
 #: pre-packed form.
 PatternsLike = Sequence[BitVector] | PackedPatterns
@@ -553,6 +740,23 @@ def as_packed(patterns: PatternsLike, width: int) -> PackedPatterns:
             )
         return patterns
     return PackedPatterns.from_patterns(patterns, width)
+
+
+#: What 3-valued simulator arguments accept: true planes, or any
+#: 2-valued pattern form (lifted X-free via ``PackedPlanes.from_packed``).
+PlanesLike = PackedPlanes | PackedPatterns | Sequence[BitVector]
+
+
+def as_planes(patterns: PlanesLike, width: int) -> PackedPlanes:
+    """Coerce a pattern argument to :class:`PackedPlanes` (validating
+    the width either way).  2-valued input lifts X-free."""
+    if isinstance(patterns, PackedPlanes):
+        if patterns.width != width:
+            raise ValueError(
+                f"packed planes have width {patterns.width}, expected {width}"
+            )
+        return patterns
+    return PackedPlanes.from_packed(as_packed(patterns, width))
 
 
 def ints_to_bitvectors(values: Iterable[int], width: int) -> list[BitVector]:

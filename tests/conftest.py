@@ -1,12 +1,15 @@
-"""Shared fixtures: small reference circuits and deterministic RNG."""
+"""Shared fixtures: small reference circuits, deterministic RNG, and
+three-valued (0/1/X) stimulus helpers."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit, Gate
 from repro.circuits import load_circuit
+from repro.utils.bitvec import X_CODE, PackedPlanes
 from repro.utils.rng import RngStream
 
 
@@ -14,6 +17,58 @@ from repro.utils.rng import RngStream
 def rng() -> RngStream:
     """A fresh deterministic stream per test."""
     return RngStream(12345, "tests")
+
+
+@pytest.fixture(params=[2, 3], ids=["values2", "values3"])
+def values(request) -> int:
+    """Parametrize a test over both logic value systems.
+
+    Suites that should hold verbatim under 2- and 3-valued simulation
+    (the flow runs X-free, so results must match bit for bit) take this
+    fixture and pass it through to ``PipelineConfig(values=...)`` or the
+    simulator choice — no copy-paste parametrize decorators.
+    """
+    return request.param
+
+
+def make_x_bank(
+    n_inputs: int,
+    n_patterns: int,
+    x_fraction: float = 0.125,
+    seed: int = 12345,
+    *names: str | int,
+) -> PackedPlanes:
+    """A deterministic X-seeded pattern bank as packed planes.
+
+    Codes are drawn 0/1 uniformly, then ``x_fraction`` of the positions
+    are overwritten with X.  Same arguments -> same bank, so golden
+    pins stay stable.
+    """
+    gen = np.random.default_rng(RngStream(seed, "x-bank", *names).getrandbits(64))
+    codes = gen.integers(0, 2, size=(n_inputs, n_patterns)).astype(np.uint8)
+    if x_fraction > 0:
+        codes[gen.random(size=codes.shape) < x_fraction] = X_CODE
+    return PackedPlanes.from_codes(codes)
+
+
+@pytest.fixture
+def x_bank():
+    """Factory fixture for deterministic X-seeded pattern banks."""
+    return make_x_bank
+
+
+@pytest.fixture
+def partial_scan_s420():
+    """The s420 netlist with only half its flip-flops scanned: returns
+    ``(view, x_inputs)`` — the unscanned flop outputs in ``x_inputs``
+    must be driven with X."""
+    from repro.circuit import partial_scan_view
+
+    seq = load_circuit("s420", full_scan=False)
+    dffs = sorted(
+        g.name for g in seq.gates.values() if g.gtype is GateType.DFF
+    )
+    return partial_scan_view(seq, dffs[: len(dffs) // 2])
 
 
 @pytest.fixture

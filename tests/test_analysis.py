@@ -164,6 +164,34 @@ def test_kernel_purity_hot_module_must_register(tmp_path):
     )
 
 
+def test_kernel_purity_threeval_is_a_hot_module(tmp_path):
+    """The 3-valued plane module carries packed hot paths and is held to
+    the same must-register contract as the 2-valued engines."""
+    write(tmp_path, "src/repro/sim/threeval.py", "X = 1\n")
+    report = run_check(tmp_path, rules=["kernel-purity"])
+    assert any(
+        "registers no @kernel" in f.message and "threeval" in str(f.path)
+        for f in findings_for(report, "kernel-purity")
+    )
+    # A registered plane kernel satisfies the contract; the scalar
+    # oracle next to it must stay unregistered.
+    write(
+        tmp_path,
+        "src/repro/sim/threeval.py",
+        """
+        from repro.utils.kernels import kernel
+
+        @kernel
+        def eval_gate_planes(v, c):
+            return v & c, c
+
+        def logic_sim_3v_scalar(codes):
+            return codes
+        """,
+    )
+    assert not run_check(tmp_path, rules=["kernel-purity"]).findings
+
+
 # ---------------------------------------------------------------------------
 # dtype-discipline
 # ---------------------------------------------------------------------------
@@ -210,6 +238,34 @@ def test_dtype_discipline_clean_kernel(tmp_path):
     )
     report = run_check(tmp_path, rules=["dtype-discipline"])
     assert not report.findings
+
+
+def test_dtype_discipline_covers_plane_kernels(tmp_path):
+    """A value/care plane kernel is held to the same promotion rules —
+    an unwrapped constructor in the care path is a finding, the wrapped
+    twin is clean."""
+    write(
+        tmp_path,
+        "src/repro/sim/threeval.py",
+        """
+        import numpy as np
+        from repro.utils.kernels import kernel
+
+        @kernel
+        def bad_planes(v, c):
+            care = np.ones(c.shape)        # no dtype= -> float64 care plane
+            return v & c, care
+
+        @kernel
+        def good_planes(v, c):
+            care = np.ones(c.shape, dtype=np.uint64)
+            return v & c, care
+        """,
+    )
+    report = run_check(tmp_path, rules=["dtype-discipline"])
+    messages = [f.message for f in findings_for(report, "dtype-discipline")]
+    assert len(messages) == 1
+    assert "without dtype=" in messages[0]
 
 
 # ---------------------------------------------------------------------------
@@ -640,6 +696,7 @@ def test_repo_has_registered_kernels():
     import repro.atpg.values5  # noqa: F401
     import repro.circuit.gates  # noqa: F401
     import repro.sim.batch  # noqa: F401
+    import repro.sim.threeval  # noqa: F401
     import repro.tpg.accumulator  # noqa: F401
     import repro.tpg.lfsr  # noqa: F401
     import repro.utils.bitvec  # noqa: F401
@@ -648,3 +705,9 @@ def test_repo_has_registered_kernels():
     assert len(names) >= 10
     assert any("eval_gate_words" in name for name in names)
     assert any("_lfsr_walk_values" in name for name in names)
+    # The three-valued plane algebra is registered under the same
+    # purity contract as the 2-valued kernels.
+    assert any("reduce_gate_planes" in name for name in names)
+    assert any("detect_planes" in name for name in names)
+    assert any("_good_planes" in name for name in names)
+    assert any("_pack_bit_rows" in name for name in names)

@@ -1,0 +1,98 @@
+"""The committed ``BENCH_*.json`` writer: update-only-on-meaningful-delta.
+
+The benchmark documents are committed files; before this contract every
+benchmark run rewrote them with pure timing noise, polluting every PR
+diff.  These tests load the benchmark conftest directly and pin the
+delta semantics: structural or large numeric changes rewrite, noise
+within the ratio does not.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCH_CONFTEST = (
+    Path(__file__).resolve().parents[1] / "benchmarks" / "conftest.py"
+)
+
+
+@pytest.fixture()
+def bench_conftest(monkeypatch, tmp_path):
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest_under_test", _BENCH_CONFTEST
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "REPO_ROOT", tmp_path)
+    return module
+
+
+class TestIsTimingNoise:
+    def test_identical_documents_are_noise(self, bench_conftest):
+        doc = {"schema": 1, "workloads": {"a": {"seconds": 0.5}}}
+        assert bench_conftest._is_timing_noise(doc, dict(doc))
+
+    def test_small_numeric_drift_is_noise(self, bench_conftest):
+        old = {"seconds": 0.100, "rate": 1000}
+        new = {"seconds": 0.140, "rate": 1400}
+        assert bench_conftest._is_timing_noise(old, new)
+
+    def test_large_numeric_drift_is_meaningful(self, bench_conftest):
+        assert not bench_conftest._is_timing_noise(
+            {"seconds": 0.1}, {"seconds": 0.1 * 1.6}
+        )
+
+    def test_structure_changes_are_meaningful(self, bench_conftest):
+        assert not bench_conftest._is_timing_noise({"a": 1}, {"a": 1, "b": 1})
+        assert not bench_conftest._is_timing_noise({"a": 1}, {"b": 1})
+        assert not bench_conftest._is_timing_noise({"a": [1]}, {"a": [1, 2]})
+
+    def test_non_numeric_leaves_compare_exactly(self, bench_conftest):
+        assert not bench_conftest._is_timing_noise(
+            {"circuit": "s420"}, {"circuit": "s1238"}
+        )
+
+    def test_zero_only_matches_zero(self, bench_conftest):
+        assert bench_conftest._is_timing_noise({"n": 0}, {"n": 0})
+        assert not bench_conftest._is_timing_noise({"n": 0}, {"n": 1})
+        assert not bench_conftest._is_timing_noise({"n": 1}, {"n": 0})
+
+    def test_sign_flip_is_meaningful(self, bench_conftest):
+        assert not bench_conftest._is_timing_noise({"d": -1.0}, {"d": 1.0})
+
+    def test_bool_is_not_a_numeric_leaf(self, bench_conftest):
+        assert not bench_conftest._is_timing_noise({"ok": True}, {"ok": False})
+        # bool-vs-int must not ratio-match (True ~ 1).
+        assert not bench_conftest._is_timing_noise({"ok": True}, {"ok": 1})
+
+
+class TestWriteBenchJson:
+    def test_first_write_creates_file(self, bench_conftest, tmp_path):
+        bench_conftest.write_bench_json("BENCH_x.json", {"seconds": 0.5})
+        document = json.loads((tmp_path / "BENCH_x.json").read_text())
+        assert document == {"schema": 1, "seconds": 0.5}
+
+    def test_noise_rerun_does_not_touch_file(self, bench_conftest, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        bench_conftest.write_bench_json("BENCH_x.json", {"seconds": 0.5})
+        before = path.stat().st_mtime_ns
+        content = path.read_text()
+        bench_conftest.write_bench_json("BENCH_x.json", {"seconds": 0.6})
+        assert path.stat().st_mtime_ns == before
+        assert path.read_text() == content
+
+    def test_meaningful_delta_rewrites(self, bench_conftest, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        bench_conftest.write_bench_json("BENCH_x.json", {"seconds": 0.5})
+        bench_conftest.write_bench_json("BENCH_x.json", {"seconds": 2.5})
+        assert json.loads(path.read_text())["seconds"] == 2.5
+
+    def test_corrupt_previous_document_is_replaced(self, bench_conftest, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        bench_conftest.write_bench_json("BENCH_x.json", {"seconds": 0.5})
+        assert json.loads(path.read_text())["schema"] == 1

@@ -398,7 +398,7 @@ class TestCliTrace:
 
     def test_trace_subcommand_rejects_non_trace_document(self, tmp_path):
         path = tmp_path / "not-a-trace.json"
-        path.write_text(json.dumps({"schema_version": 2, "kind": "pipeline_result"}))
+        path.write_text(json.dumps({"schema_version": 3, "kind": "pipeline_result"}))
         with pytest.raises(Exception):
             main(["trace", str(path)])
 

@@ -167,6 +167,127 @@ def test_session_agrees_with_pipeline_pins(name):
     assert (clone.n_triplets, clone.test_length) == GOLDEN_PIPELINE["recursive"][name]
 
 
+#: Three-valued pins: the same circuits under an X-seeded pattern bank
+#: (128 patterns, 12.5% of input bits forced to X at the seed RNG).
+#: ``n_detected``/``matrix_ones`` pin the pessimistic plane-algebra
+#: detection (strictly below the 2-valued numbers — X only loses
+#: detections); ``n_masked``/``signature`` pin the X-masked MISR
+#: compaction.  The X-free half of the contract needs no new constants:
+#: ``test_threeval_x_free_matches_golden`` reuses ``GOLDEN`` verbatim.
+@dataclass(frozen=True)
+class GoldenThreeVal:
+    """Pinned 3-valued results for one circuit's X-seeded bank."""
+
+    n_detected: int
+    matrix_ones: int
+    x_count: int
+    n_masked: int
+    signature: str
+
+
+GOLDEN_THREEVAL: dict[str, GoldenThreeVal] = {
+    "c499": GoldenThreeVal(
+        n_detected=729,
+        matrix_ones=14232,
+        x_count=695,
+        n_masked=904,
+        signature="01111110001101111100110001000010",
+    ),
+    "c880": GoldenThreeVal(
+        n_detected=1138,
+        matrix_ones=9745,
+        x_count=961,
+        n_masked=1444,
+        signature="01011101110011011011110100",
+    ),
+    "s420": GoldenThreeVal(
+        n_detected=404,
+        matrix_ones=11277,
+        x_count=546,
+        n_masked=341,
+        signature="11011101010001011",
+    ),
+}
+
+_X_FRACTION = 0.125
+
+
+def _golden_threeval_workload(name: str, x_bank):
+    circuit = load_circuit(name)
+    faults = full_fault_list(circuit)
+    bank = x_bank(
+        circuit.n_inputs, N_GOLDEN_PATTERNS, _X_FRACTION, GOLDEN_SEED,
+        "golden-3v", name,
+    )
+    return circuit, faults, bank
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_THREEVAL))
+def test_threeval_coverage_pinned(name, x_bank):
+    from repro.sim.threeval import XFaultSimulator
+
+    circuit, faults, bank = _golden_threeval_workload(name, x_bank)
+    expected = GOLDEN_THREEVAL[name]
+    assert bank.x_count() == expected.x_count
+    simulator = XFaultSimulator(circuit)
+    flags = simulator.detected(bank, faults)
+    assert sum(flags) == expected.n_detected
+    # Pessimism against the 2-valued pins: X never adds detections.
+    assert expected.n_detected < GOLDEN[name].n_detected
+    matrix = simulator.detection_matrix(bank, faults)
+    assert int(matrix.sum()) == expected.matrix_ones
+    assert expected.matrix_ones < GOLDEN[name].matrix_ones
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_THREEVAL))
+def test_threeval_masked_signature_pinned(name, x_bank):
+    from repro.sim.misr import x_masked_signature
+
+    circuit, _, bank = _golden_threeval_workload(name, x_bank)
+    expected = GOLDEN_THREEVAL[name]
+    signature, n_masked = x_masked_signature(circuit, bank)
+    assert n_masked == expected.n_masked
+    assert signature.to_string() == expected.signature
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_threeval_x_free_matches_golden(name):
+    """The 3-valued engine on the X-free golden patterns reproduces the
+    2-valued pins exactly — same constants, different algebra."""
+    from repro.sim.misr import golden_signature, x_masked_signature
+    from repro.sim.threeval import XFaultSimulator
+    from repro.utils.bitvec import as_planes, pack_patterns, PackedPatterns
+
+    circuit, faults, patterns = _golden_workload(name)
+    expected = GOLDEN[name]
+    simulator = XFaultSimulator(circuit)
+    packed = PackedPatterns(
+        pack_patterns(patterns, circuit.n_inputs), len(patterns)
+    )
+    planes = as_planes(packed, circuit.n_inputs)
+    assert sum(simulator.detected(planes, faults)) == expected.n_detected
+    matrix = simulator.detection_matrix(planes, faults)
+    assert int(matrix.sum()) == expected.matrix_ones
+    masked, n_masked = x_masked_signature(circuit, planes)
+    assert n_masked == 0
+    assert masked == golden_signature(circuit, patterns)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PIPELINE["recursive"]))
+def test_pipeline_values3_matches_pins(name):
+    """``values=3`` through the full flow: the stimulus is X-free, so
+    Table-1 aggregates must equal the 2-valued pins bit for bit."""
+    from repro.flow.pipeline import PipelineConfig, ReseedingPipeline
+
+    circuit = load_circuit(name, scale=_PIPELINE_SCALE)
+    config = PipelineConfig(
+        evolution_length=16, max_random_patterns=512, values=3
+    )
+    result = ReseedingPipeline(circuit, "adder", config).run()
+    assert (result.n_triplets, result.test_length) == GOLDEN_PIPELINE["batch"][name]
+    assert result.atpg.measured_coverage == 1.0
+
+
 #: Effect-cause diagnosis pins (the 128 golden patterns, one injected
 #: collapsed fault drawn at the seed RNG).  ``rank`` is the injected
 #: fault's position in the ranking; 2 on c499 is real physics, not a
